@@ -1,0 +1,70 @@
+// Shared scaffolding for the table-reproduction benchmarks: default scaled
+// workload configurations, environment-variable overrides, and the
+// paper-vs-measured table layout.
+//
+// Absolute numbers are not expected to match the paper (the substrate is a
+// calibrated simulator and the workloads are scaled down; see
+// EXPERIMENTS.md); every harness prints the paper's value next to the
+// measured one so the *shape* can be checked row by row.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/harness/run_modes.hpp"
+#include "util/table.hpp"
+
+namespace repseq::bench {
+
+/// Reads an integer override from the environment (REPSEQ_<NAME>).
+inline long env_long(const char* name, long fallback) {
+  const std::string var = std::string("REPSEQ_") + name;
+  const char* v = std::getenv(var.c_str());
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+inline std::size_t bench_nodes() { return static_cast<std::size_t>(env_long("NODES", 32)); }
+
+/// The scaled Barnes-Hut workload (paper: 131072 bodies, 2 steps).
+inline apps::bh::BhConfig bh_config() {
+  apps::bh::BhConfig cfg;
+  cfg.bodies = static_cast<int>(env_long("BH_BODIES", 4096));
+  cfg.steps = static_cast<int>(env_long("BH_STEPS", 2));
+  return cfg;
+}
+
+/// The scaled Ilink workload (paper: CLP input, 180 iterations).
+inline apps::ilink::IlinkConfig ilink_config() {
+  apps::ilink::IlinkConfig cfg;
+  cfg.families = static_cast<int>(env_long("ILINK_FAMILIES", cfg.families));
+  cfg.children = static_cast<int>(env_long("ILINK_CHILDREN", cfg.children));
+  cfg.genotypes = static_cast<int>(env_long("ILINK_GENOTYPES", cfg.genotypes));
+  cfg.iterations = static_cast<int>(env_long("ILINK_ITERATIONS", cfg.iterations));
+  cfg.min_nonzero = static_cast<int>(env_long("ILINK_MIN_NZ", cfg.min_nonzero));
+  cfg.max_nonzero = static_cast<int>(env_long("ILINK_MAX_NZ", cfg.max_nonzero));
+  cfg.threshold = static_cast<int>(env_long("ILINK_THRESHOLD", cfg.threshold));
+  return cfg;
+}
+
+inline apps::harness::RunOptions options_for(apps::harness::Mode mode,
+                                             std::size_t nodes = bench_nodes()) {
+  apps::harness::RunOptions o;
+  o.mode = mode;
+  o.nodes = nodes;
+  o.tmk.heap_bytes = static_cast<std::size_t>(env_long("HEAP_MB", 24)) << 20;
+  return o;
+}
+
+inline std::string fmt1(double v) { return util::fmt_fixed(v, 1); }
+inline std::string fmt2(double v) { return util::fmt_fixed(v, 2); }
+
+inline void print_header(const char* title, const char* paper_ref, const char* note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  paper reference: %s\n", paper_ref);
+  std::printf("  %s\n", note);
+  std::printf("================================================================\n");
+}
+
+}  // namespace repseq::bench

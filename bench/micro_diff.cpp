@@ -1,0 +1,78 @@
+// Micro-benchmarks (google-benchmark): twin/diff machinery -- creation,
+// run-length encoding size and application cost across modification
+// densities.  These operations sit on the critical path of every fault.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "tmk/diff.hpp"
+
+namespace {
+
+using repseq::sim::Rng;
+using repseq::tmk::Diff;
+
+constexpr std::size_t kPage = 4096;
+
+std::pair<std::vector<std::byte>, std::vector<std::byte>> make_pair_with_density(int pct,
+                                                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::byte> twin(kPage);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next_below(256));
+  auto cur = twin;
+  for (std::size_t w = 0; w < kPage / 4; ++w) {
+    if (rng.next_below(100) < static_cast<std::uint64_t>(pct)) {
+      cur[w * 4] = static_cast<std::byte>(rng.next_below(256));
+    }
+  }
+  return {std::move(twin), std::move(cur)};
+}
+
+void BM_DiffCreate(benchmark::State& state) {
+  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    Diff d = Diff::create(twin, cur);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffApply(benchmark::State& state) {
+  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 43);
+  const Diff d = Diff::create(twin, cur);
+  std::vector<std::byte> target = twin;
+  for (auto _ : state) {
+    d.apply(target);
+    benchmark::DoNotOptimize(target.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(4 * d.word_count() + 1));
+}
+BENCHMARK(BM_DiffApply)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DiffWireBytes(benchmark::State& state) {
+  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 44);
+  const Diff d = Diff::create(twin, cur);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.wire_bytes());
+  }
+}
+BENCHMARK(BM_DiffWireBytes)->Arg(10);
+
+void BM_TwinCopy(benchmark::State& state) {
+  std::vector<std::byte> page(kPage, std::byte{7});
+  std::vector<std::byte> twin(kPage);
+  for (auto _ : state) {
+    std::memcpy(twin.data(), page.data(), kPage);
+    benchmark::DoNotOptimize(twin.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+}
+BENCHMARK(BM_TwinCopy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

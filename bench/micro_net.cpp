@@ -1,0 +1,63 @@
+// Micro-benchmarks (google-benchmark): simulated network throughput --
+// host-side cost of pushing messages through the switch/hub models, which
+// bounds how fast the full-system simulations run.
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace repseq;
+
+void BM_UnicastThroughSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Network nw(eng, net::NetConfig{}, 4);
+    eng.spawn("rx", [&] {
+      for (int i = 0; i < 100; ++i) (void)nw.nic(1).inbox().pop();
+    });
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 100; ++i) {
+        net::Message m;
+        m.src = 0;
+        m.dst = 1;
+        m.payload_bytes = 1024;
+        nw.unicast(std::move(m));
+      }
+    });
+    eng.run();
+    benchmark::DoNotOptimize(nw.messages_sent());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_UnicastThroughSwitch);
+
+void BM_MulticastThroughHub(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    net::Network nw(eng, net::NetConfig{}, nodes);
+    for (net::NodeId n = 1; n < nodes; ++n) {
+      eng.spawn("rx", [&nw, n] {
+        for (int i = 0; i < 20; ++i) (void)nw.nic(n).inbox().pop();
+      });
+    }
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 20; ++i) {
+        net::Message m;
+        m.src = 0;
+        m.payload_bytes = 1024;
+        nw.multicast(std::move(m));
+      }
+    });
+    eng.run();
+    benchmark::DoNotOptimize(nw.deliveries());
+  }
+  state.SetItemsProcessed(state.iterations() * 20 * static_cast<std::int64_t>(nodes - 1));
+}
+BENCHMARK(BM_MulticastThroughHub)->Arg(4)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Figure-style experiment F1 (paper Section 3): contention as queueing.
+//
+// The master writes a block of pages in a sequential section; all other
+// nodes then read disjoint slices simultaneously, so every diff request
+// converges on the master.  The sweep shows the average response time
+// growing with the number of simultaneous requesters -- "the service time
+// for a request that arrives at a node with pending requests is increased
+// by the time required to process all pending requests".
+#include "bench_common.hpp"
+#include "ompnow/team.hpp"
+#include "tmk/access.hpp"
+
+namespace {
+
+struct Point {
+  double avg_ms;
+  double max_ms;
+  double par_s;
+};
+
+Point probe(std::size_t nodes) {
+  using namespace repseq;
+  tmk::TmkConfig cfg;
+  cfg.heap_bytes = 8u << 20;
+  tmk::Cluster cl(cfg, net::NetConfig{}, nodes);
+  rse::RseController rse(cl, rse::FlowControl::Chained);
+  ompnow::Team team(cl, ompnow::SeqMode::MasterOnly, &rse);
+
+  constexpr std::size_t kIntsPerPage = 4096 / sizeof(int);
+  const std::size_t elems = 96 * kIntsPerPage;
+  auto data = tmk::ShArray<int>::alloc(cl, elems, /*page_aligned=*/true);
+
+  cl.run([&](tmk::NodeRuntime&) {
+    team.sequential([&](const ompnow::Ctx&) {
+      for (std::size_t i = 0; i < elems; ++i) data.store(i, 1);
+    });
+    team.parallel([&](const ompnow::Ctx& ctx) {
+      const auto r = ompnow::block_range(0, static_cast<long>(elems), ctx.tid, ctx.nthreads);
+      long sum = 0;
+      for (long i = r.lo; i < r.hi; ++i) sum += data.load(static_cast<std::size_t>(i));
+      if (sum < 0) std::abort();
+    });
+  });
+
+  util::Accumulator acc;
+  for (net::NodeId n = 0; n < nodes; ++n) acc.merge(cl.node(n).stats().par.response_ms);
+  return {acc.mean(), acc.max(), team.parallel_time().seconds()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace repseq;
+  using namespace repseq::bench;
+  print_header("Sweep: hot-spot response time vs simultaneous requesters",
+               "PPoPP'01 Section 3 (and reference [11])",
+               "synthetic: 96 master-written pages read by all nodes at once");
+
+  util::Table t({"nodes", "avg response (ms)", "max response (ms)", "parallel phase (s)"});
+  double r2 = 0;
+  double r32 = 0;
+  for (std::size_t nodes : {2, 4, 8, 16, 24, 32}) {
+    const Point p = probe(nodes);
+    if (nodes == 2) r2 = p.avg_ms;
+    if (nodes == 32) r32 = p.avg_ms;
+    t.add_row({std::to_string(nodes), fmt2(p.avg_ms), fmt2(p.max_ms), fmt2(p.par_s)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nShape check: response time grows with requester count: %s (%.2f -> %.2f ms,"
+              " %.1fx)\n",
+              r32 > 2.0 * r2 ? "yes" : "NO", r2, r32, r32 / (r2 > 0 ? r2 : 1));
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure-style experiment F2: base vs optimized speedup as the cluster
+// grows.  The paper reports only the 32-node endpoints (Tables 1 and 3);
+// this sweep shows where contention starts to dominate the base system and
+// where the replication overhead amortizes.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace repseq;
+  using namespace repseq::bench;
+  using apps::harness::Mode;
+
+  apps::bh::BhConfig bh = bh_config();
+  bh.bodies = static_cast<int>(env_long("SWEEP_BH_BODIES", 2048));
+  apps::ilink::IlinkConfig il = ilink_config();
+  il.iterations = static_cast<int>(env_long("SWEEP_ILINK_ITERS", 2));
+  il.families = static_cast<int>(env_long("SWEEP_ILINK_FAMILIES", 2));
+
+  print_header("Sweep: speedup vs cluster size (base vs replicated)",
+               "PPoPP'01 Tables 1/3 give the 32-node endpoints",
+               "speedup = 1-node sequential time / total time");
+
+  const double bh_base = apps::harness::run_barnes_hut(options_for(Mode::Sequential, 1), bh).total_s;
+  const double il_base = apps::harness::run_ilink(options_for(Mode::Sequential, 1), il).total_s;
+
+  util::Table t({"nodes", "BH orig", "BH opt", "Ilink orig", "Ilink opt"});
+  for (std::size_t nodes : {2, 4, 8, 16, 32}) {
+    const auto bo = apps::harness::run_barnes_hut(options_for(Mode::Original, nodes), bh);
+    const auto br = apps::harness::run_barnes_hut(options_for(Mode::Optimized, nodes), bh);
+    const auto io = apps::harness::run_ilink(options_for(Mode::Original, nodes), il);
+    const auto ir = apps::harness::run_ilink(options_for(Mode::Optimized, nodes), il);
+    t.add_row({std::to_string(nodes), fmt1(bh_base / bo.total_s), fmt1(bh_base / br.total_s),
+               fmt1(il_base / io.total_s), fmt1(il_base / ir.total_s)});
+  }
+  std::printf("%s", t.render().c_str());
+  std::printf("\nExpected shape: the optimized curves pull ahead as node count grows,\n"
+              "with the larger relative win on Ilink (paper: +51%% BH, +189%% Ilink at 32).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Barnes-Hut demo: runs the N-body application on a simulated 16-node
+// cluster in all three system configurations and prints a per-mode summary,
+// including the tree statistics and the phase time breakdown.
+//
+// Build & run:   ./build/examples/barnes_hut_demo
+#include <cstdio>
+
+#include "apps/harness/run_modes.hpp"
+
+using namespace repseq;
+using apps::harness::Mode;
+
+int main() {
+  apps::bh::BhConfig cfg;
+  cfg.bodies = 2048;
+  cfg.steps = 3;
+
+  std::printf("Barnes-Hut, %d bodies, %d timesteps, 16 simulated nodes\n\n", cfg.bodies,
+              cfg.steps);
+  std::printf("%-13s %10s %9s %9s %12s %14s\n", "mode", "total(s)", "seq(s)", "par(s)",
+              "par faults", "par resp(ms)");
+
+  double baseline = 0.0;
+  for (Mode mode : {Mode::Sequential, Mode::Original, Mode::Optimized}) {
+    apps::harness::RunOptions opt;
+    opt.mode = mode;
+    opt.nodes = 16;
+    opt.tmk.heap_bytes = 16u << 20;
+    const auto r = apps::harness::run_barnes_hut(opt, cfg);
+    if (mode == Mode::Sequential) baseline = r.total_s;
+    std::printf("%-13s %10.2f %9.2f %9.2f %12.0f %14.2f   speedup %.1fx\n",
+                apps::harness::mode_name(mode), r.total_s, r.seq_s, r.par_s,
+                r.par_requests_avg, r.par_response_ms, baseline / r.total_s);
+  }
+
+  std::printf("\nThe optimized system trades a slower (replicated) tree build for a\n"
+              "contention-free force phase -- the paper's Table 1 in miniature.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Experiment harness: builds a cluster in one of the paper's three system
+// configurations (plus the broadcast ablation), runs an application, and
+// extracts exactly the measurements reported in Tables 1-4.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/barnes_hut/bh.hpp"
+#include "apps/ilink/ilink.hpp"
+#include "net/net_config.hpp"
+#include "rse/controller.hpp"
+#include "tmk/config.hpp"
+
+namespace repseq::apps::harness {
+
+enum class Mode {
+  Sequential,    // one node, no parallel directives (the speedup baseline)
+  Original,      // base OpenMP/TreadMarks: sequential sections on the master
+  Optimized,     // replicated sequential execution with multicast (the paper)
+  BroadcastSeq,  // master executes, then multicasts all modified data
+                 // (Section 4.2 alternative / Section 6.1.2 hand insertion)
+};
+
+[[nodiscard]] const char* mode_name(Mode m);
+
+struct RunOptions {
+  std::size_t nodes = 32;
+  Mode mode = Mode::Original;
+  rse::FlowControl flow = rse::FlowControl::Chained;
+  tmk::TmkConfig tmk;
+  net::NetConfig net;
+};
+
+/// One row set for the paper's statistics tables.
+struct RunReport {
+  Mode mode = Mode::Original;
+  std::size_t nodes = 0;
+
+  double total_s = 0;  // Table 1/3 "Total time"
+  double seq_s = 0;    // "Sequential time"
+  double par_s = 0;    // "Parallel time"
+
+  std::uint64_t total_msgs = 0;   // Table 2/4 "Total messages"
+  std::uint64_t total_kb = 0;     // "data (KB)"
+  std::uint64_t seq_msgs = 0;     // messages during sequential sections
+  std::uint64_t seq_kb = 0;
+  std::uint64_t seq_requests = 0;  // "diff requests" (max-faulting thread)
+  double seq_response_ms = 0;      // "avg response time (ms)"
+  std::uint64_t seq_null_acks = 0;
+  std::uint64_t seq_fwd_requests = 0;
+  std::uint64_t par_msgs = 0;
+  std::uint64_t par_kb = 0;
+  double par_requests_avg = 0;  // "avg diff requests" per thread
+  double par_response_ms = 0;
+  double par_fault_wait_max_s = 0;  // slowest thread's diff-request time
+  std::uint64_t recoveries = 0;
+  std::uint64_t drops = 0;
+
+  double checksum = 0;  // application result for cross-mode verification
+  std::uint64_t aux = 0;
+};
+
+RunReport run_barnes_hut(const RunOptions& opt, const bh::BhConfig& cfg);
+RunReport run_ilink(const RunOptions& opt, const ilink::IlinkConfig& cfg);
+
+}  // namespace repseq::apps::harness

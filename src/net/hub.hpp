@@ -1,0 +1,32 @@
+// Shared-medium half-duplex hub model carrying all multicast traffic
+// (the paper routes multicast through a 100 Mbps hub because their switch
+// forwarded multicast slowly).  Exactly one frame occupies the medium at a
+// time; every member of the group receives it.
+#pragma once
+
+#include "net/message.hpp"
+#include "net/net_config.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace repseq::net {
+
+class Hub {
+ public:
+  Hub(sim::Engine& eng, const NetConfig& cfg) : eng_(eng), cfg_(cfg) {}
+
+  /// Reserves the shared medium for one frame starting no earlier than
+  /// `ready`; returns the time the frame has fully propagated to all
+  /// receivers.
+  sim::SimTime transmit(std::size_t wire_bytes, sim::SimTime ready);
+
+  [[nodiscard]] sim::SimDuration busy_total() const { return busy_total_; }
+
+ private:
+  sim::Engine& eng_;
+  const NetConfig& cfg_;
+  sim::SimTime medium_free_{};
+  sim::SimDuration busy_total_{};
+};
+
+}  // namespace repseq::net

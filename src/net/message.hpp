@@ -1,0 +1,37 @@
+// The transport-level message unit.  The network layer is deliberately
+// payload-agnostic: upper layers (the DSM protocol) attach a typed payload
+// object plus an explicit wire-size so byte accounting matches what a real
+// serialization would have produced.  Since the whole cluster lives in one
+// address space there is no reason to actually serialize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace repseq::net {
+
+using NodeId = std::uint32_t;
+
+/// Destination value meaning "the single IP-multicast group" (every node
+/// joins it at program start, paper Section 5.4).
+inline constexpr NodeId kMulticastDst = 0xffffffffu;
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  /// Protocol-defined discriminator (net layer treats it as opaque).
+  std::uint32_t kind = 0;
+  /// Payload bytes as they would appear on the wire (excluding headers).
+  std::size_t payload_bytes = 0;
+  /// The typed payload, cast back by the protocol layer.
+  std::shared_ptr<const void> payload{};
+  /// Unique per-simulation id (assigned by Network::send) for tracing.
+  std::uint64_t id = 0;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    return *static_cast<const T*>(payload.get());
+  }
+};
+
+}  // namespace repseq::net

@@ -1,0 +1,67 @@
+// Network and cost-model parameters for the simulated network of
+// workstations.  Defaults are calibrated to the paper's testbed class:
+// 800 MHz Athlon nodes on 100 Mbps switched Ethernet (unicast) plus a
+// 100 Mbps hub (multicast), UDP user-level messaging (TreadMarks 1.0.3).
+//
+// Calibration targets are the paper's *measured* protocol latencies:
+// an uncontended diff-request round trip of ~0.7-0.9 ms and a contended
+// one of ~3.0-3.4 ms on 32 nodes (Tables 2 and 4).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+
+namespace repseq::net {
+
+struct NetConfig {
+  /// Link rate of each node's switched full-duplex port, bytes per second.
+  /// 100 Mbps = 12.5 MB/s.
+  double link_bytes_per_sec = 12.5e6;
+
+  /// Rate of the shared half-duplex multicast hub, bytes per second.
+  double hub_bytes_per_sec = 12.5e6;
+
+  /// Propagation + store-and-forward fixed latency per unicast hop
+  /// (node->switch or switch->node).
+  sim::SimDuration hop_latency = sim::microseconds(5);
+
+  /// Fixed latency for a frame across the hub.
+  sim::SimDuration hub_latency = sim::microseconds(5);
+
+  /// Software send cost charged to the sending CPU per message
+  /// (UDP stack traversal, ~70 us on an 800 MHz machine).
+  sim::SimDuration send_overhead = sim::microseconds(70);
+
+  /// Software receive/dispatch cost per message on the destination.
+  sim::SimDuration recv_overhead = sim::microseconds(35);
+
+  /// Capacity of a node's receive ring in messages.  Arrivals beyond this
+  /// are dropped (the buffer-overflow hazard of paper Section 5.4 that
+  /// motivates flow control).
+  std::size_t recv_buffer_msgs = 64;
+
+  /// Per-frame maximum transfer unit.  Larger payloads are charged as
+  /// multiple frames' worth of wire time (fragmentation), all-or-nothing
+  /// delivery as in TreadMarks' UDP usage.
+  std::size_t mtu_bytes = 1500;
+
+  /// Fixed header bytes added per message (UDP/IP/Ethernet).
+  std::size_t header_bytes = 42;
+
+  /// Probability that any given delivery is lost (loss injection for
+  /// testing the recovery path).  Zero by default.
+  double loss_probability = 0.0;
+
+  /// Seed for the loss-injection RNG.
+  std::uint64_t loss_seed = 0x5eed;
+
+  /// Computes serialized wire size (payload + per-fragment headers).
+  [[nodiscard]] std::size_t wire_bytes(std::size_t payload) const {
+    const std::size_t max_frag = mtu_bytes - header_bytes;
+    const std::size_t frags = payload == 0 ? 1 : (payload + max_frag - 1) / max_frag;
+    return payload + frags * header_bytes;
+  }
+};
+
+}  // namespace repseq::net

@@ -1,0 +1,88 @@
+#include "net/network.hpp"
+
+#include "util/check.hpp"
+
+namespace repseq::net {
+
+Network::Network(sim::Engine& eng, NetConfig cfg, std::size_t nodes)
+    : eng_(eng),
+      cfg_(cfg),
+      switch_(eng, cfg_, nodes),
+      hub_(eng, cfg_),
+      loss_rng_(cfg.loss_seed) {
+  REPSEQ_CHECK(nodes >= 1, "network needs at least one node");
+  nics_.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    nics_.push_back(std::make_unique<Nic>(eng_, cfg_, static_cast<NodeId>(n)));
+  }
+}
+
+void Network::deliver_at(sim::SimTime t, NodeId dst, const Message& msg) {
+  if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
+      loss_rng_.chance(cfg_.loss_probability)) {
+    ++losses_injected_;
+    return;
+  }
+  eng_.schedule_at(t, [this, dst, msg] {
+    if (nics_[dst]->deliver(msg)) {
+      ++deliveries_;
+    }
+  });
+}
+
+std::uint64_t Network::unicast(Message msg) {
+  REPSEQ_CHECK(msg.src < nics_.size(), "bad unicast src");
+  REPSEQ_CHECK(msg.dst < nics_.size(), "bad unicast dst");
+  REPSEQ_CHECK(msg.dst != msg.src, "unicast to self");
+  msg.id = next_id_++;
+  const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
+  ++messages_sent_;
+  bytes_sent_ += wire;
+  if (tap_) tap_(msg, wire, /*is_multicast=*/false);
+
+  const sim::SimTime at_switch = nics_[msg.src]->reserve_uplink(wire) + cfg_.hop_latency;
+  const sim::SimTime at_dst = switch_.forward(msg.dst, wire, at_switch);
+  deliver_at(at_dst, msg.dst, msg);
+  return msg.id;
+}
+
+std::uint64_t Network::multicast(Message msg) {
+  REPSEQ_CHECK(msg.src < nics_.size(), "bad multicast src");
+  msg.dst = kMulticastDst;
+  msg.id = next_id_++;
+  const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
+  // A multicast frame is one message on the wire regardless of group size
+  // (paper: "each multicast message is counted as a single message").
+  ++messages_sent_;
+  bytes_sent_ += wire;
+  if (tap_) tap_(msg, wire, /*is_multicast=*/true);
+
+  const sim::SimTime done = hub_.transmit(wire, eng_.now());
+  // One simulation event delivers the frame to every member (the hub
+  // reaches all receivers simultaneously); loss is still per receiver.
+  std::vector<NodeId> receivers;
+  receivers.reserve(nics_.size() - 1);
+  for (NodeId n = 0; n < nics_.size(); ++n) {
+    if (n == msg.src) continue;  // sender consumes its own data locally
+    if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
+        loss_rng_.chance(cfg_.loss_probability)) {
+      ++losses_injected_;
+      continue;
+    }
+    receivers.push_back(n);
+  }
+  eng_.schedule_at(done, [this, receivers = std::move(receivers), msg] {
+    for (NodeId n : receivers) {
+      if (nics_[n]->deliver(msg)) ++deliveries_;
+    }
+  });
+  return msg.id;
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t d = 0;
+  for (const auto& nic : nics_) d += nic->drops();
+  return d;
+}
+
+}  // namespace repseq::net

@@ -1,0 +1,78 @@
+// The cluster network facade: unicast rides the switch, multicast rides the
+// hub, deliveries land in per-node NIC inboxes.  All wire-time modeling is
+// here; CPU costs (send/receive software overheads) are charged by the
+// protocol layer against the node CPUs so that they interact correctly with
+// the interrupt model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/hub.hpp"
+#include "net/message.hpp"
+#include "net/net_config.hpp"
+#include "net/nic.hpp"
+#include "net/switch_fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace repseq::net {
+
+class Network {
+ public:
+  Network(sim::Engine& eng, NetConfig cfg, std::size_t nodes);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Sends point-to-point via the switch.  Returns the assigned message id.
+  /// Must be called from a fiber of the source node (timing uses `now`).
+  std::uint64_t unicast(Message msg);
+
+  /// Sends to every *other* node via the hub (single multicast group).
+  std::uint64_t multicast(Message msg);
+
+  [[nodiscard]] Nic& nic(NodeId n) { return *nics_[n]; }
+  [[nodiscard]] std::size_t node_count() const { return nics_.size(); }
+  [[nodiscard]] const NetConfig& config() const { return cfg_; }
+
+  /// Observability for tests and the benchmark harness.
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t losses_injected() const { return losses_injected_; }
+  [[nodiscard]] std::uint64_t total_drops() const;
+
+  /// Optional tap invoked for every send (protocol-layer accounting).
+  using SendTap = std::function<void(const Message&, std::size_t wire_bytes, bool is_multicast)>;
+  void set_send_tap(SendTap tap) { tap_ = std::move(tap); }
+
+  /// Restricts loss injection to messages for which the filter returns
+  /// true.  The DSM layer exempts synchronization traffic, whose transport
+  /// retries are not the behaviour under study; the diff/multicast paths
+  /// carry their own timeout recovery (paper Section 5.4.2).
+  using LossFilter = std::function<bool(const Message&)>;
+  void set_loss_filter(LossFilter f) { lossable_ = std::move(f); }
+
+ private:
+  void deliver_at(sim::SimTime t, NodeId dst, const Message& msg);
+
+  sim::Engine& eng_;
+  NetConfig cfg_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  SwitchFabric switch_;
+  Hub hub_;
+  sim::Rng loss_rng_;
+  SendTap tap_{};
+  LossFilter lossable_{};
+
+  std::uint64_t next_id_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t losses_injected_ = 0;
+};
+
+}  // namespace repseq::net

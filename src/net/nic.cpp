@@ -1,0 +1,22 @@
+#include "net/nic.hpp"
+
+namespace repseq::net {
+
+sim::SimTime Nic::reserve_uplink(std::size_t wire_bytes) {
+  const sim::SimTime start = std::max(eng_.now(), uplink_free_);
+  const auto tx_ns = static_cast<std::int64_t>(
+      static_cast<double>(wire_bytes) / cfg_.link_bytes_per_sec * 1e9);
+  uplink_free_ = start + sim::SimDuration{tx_ns};
+  return uplink_free_;
+}
+
+bool Nic::deliver(Message msg) {
+  if (inbox_.size() >= cfg_.recv_buffer_msgs) {
+    ++drops_;
+    return false;
+  }
+  inbox_.push(std::move(msg));
+  return true;
+}
+
+}  // namespace repseq::net

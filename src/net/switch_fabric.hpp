@@ -1,0 +1,36 @@
+// Output-queued store-and-forward Ethernet switch model for unicast traffic.
+//
+// Each destination port is a serializing resource: back-to-back frames for
+// the same destination queue behind each other at link rate.  This is the
+// second half of the paper's contention story -- when N-1 nodes request
+// diffs from the master at once, the *responses* also serialize on the
+// master's uplink (modeled by Nic::reserve_uplink) while the *requests*
+// arrive effectively in parallel on distinct input ports.
+#pragma once
+
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/net_config.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace repseq::net {
+
+class SwitchFabric {
+ public:
+  SwitchFabric(sim::Engine& eng, const NetConfig& cfg, std::size_t ports)
+      : eng_(eng), cfg_(cfg), port_free_(ports) {}
+
+  /// Schedules the switch->destination leg for a frame whose last byte
+  /// arrived at the switch at `arrival`.  Returns the delivery completion
+  /// time at the destination NIC.
+  sim::SimTime forward(NodeId dst, std::size_t wire_bytes, sim::SimTime arrival);
+
+ private:
+  sim::Engine& eng_;
+  const NetConfig& cfg_;
+  std::vector<sim::SimTime> port_free_;
+};
+
+}  // namespace repseq::net

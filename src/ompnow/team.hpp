@@ -1,0 +1,97 @@
+// The OpenMP/NOW programming layer: what the SUIF-based translator of the
+// paper emits, expressed as a library API.
+//
+//   * parallel / parallel_for -- fork-join regions over the DSM cluster,
+//     with static block or cyclic work sharing and an `if` clause for
+//     conditional parallelization (paper Section 2.1);
+//   * sequential -- a sequential section, executed per the run mode:
+//       - MasterOnly: the master runs it while slaves wait (base system);
+//       - Replicated: every node runs it under the RSE protocol (the
+//         paper's optimization);
+//       - BroadcastAfter: the master runs it, then pushes all section
+//         modifications to everyone (the Section 4.2 / 6.1.2 alternative).
+//
+// The Team also measures the per-section time breakdown reported in the
+// paper's Tables 1 and 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rse/controller.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::ompnow {
+
+enum class SeqMode {
+  MasterOnly,
+  Replicated,
+  BroadcastAfter,
+};
+
+enum class Schedule {
+  StaticBlock,
+  StaticCyclic,
+};
+
+/// Per-thread view inside a region, handed to region bodies.
+struct Ctx {
+  tmk::NodeRuntime& rt;
+  int tid;
+  int nthreads;
+
+  [[nodiscard]] bool is_master() const { return tid == 0; }
+  /// Guards non-replicable side effects (allocation, I/O) inside
+  /// replicated sequential sections (paper Section 5.2).
+  void master_only(const std::function<void()>& fn) const {
+    if (is_master()) fn();
+  }
+  void barrier(std::uint32_t id) const { rt.barrier(id); }
+  void lock(std::uint32_t id) const { rt.lock_acquire(id); }
+  void unlock(std::uint32_t id) const { rt.lock_release(id); }
+};
+
+/// Static loop partitioning helpers (the translator supports block and
+/// cyclic distribution, paper Section 2.1).
+struct Range {
+  long lo;
+  long hi;
+};
+[[nodiscard]] Range block_range(long lo, long hi, int tid, int nthreads);
+
+class Team {
+ public:
+  Team(tmk::Cluster& cluster, SeqMode seq_mode, rse::RseController* rse);
+
+  /// A `parallel` region: body runs on every thread.
+  void parallel(std::function<void(const Ctx&)> body);
+
+  /// A combined `parallel for`: body(ctx, i) runs once per index.
+  /// With `if_parallel == false` the master executes the whole loop inline
+  /// (the OpenMP `if` clause, used by Ilink's conditional parallelization).
+  void parallel_for(long lo, long hi, Schedule sched,
+                    std::function<void(const Ctx&, long)> body, bool if_parallel = true);
+
+  /// A sequential section, dispatched per the run mode.
+  void sequential(std::function<void(const Ctx&)> body);
+
+  [[nodiscard]] sim::SimDuration sequential_time() const { return seq_time_; }
+  [[nodiscard]] sim::SimDuration parallel_time() const { return par_time_; }
+  [[nodiscard]] std::uint64_t parallel_regions() const { return parallel_regions_; }
+  [[nodiscard]] std::uint64_t sequential_sections() const { return seq_sections_; }
+  [[nodiscard]] SeqMode seq_mode() const { return seq_mode_; }
+
+ private:
+  void run_region(std::uint64_t work_id, tmk::Phase phase);
+
+  tmk::Cluster& cluster_;
+  SeqMode seq_mode_;
+  rse::RseController* rse_;
+  sim::SimDuration seq_time_{};
+  sim::SimDuration par_time_{};
+  std::uint64_t parallel_regions_ = 0;
+  std::uint64_t seq_sections_ = 0;
+};
+
+}  // namespace repseq::ompnow

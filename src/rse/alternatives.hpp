@@ -1,0 +1,24 @@
+// Alternatives to replicated sequential execution, used by the ablation
+// benchmarks:
+//
+//  * broadcast_section_updates -- "multicast all data modified during the
+//    sequential execution to all threads before parallel execution starts"
+//    (paper Section 4.2).  Applied to Barnes-Hut's tree build it is exactly
+//    the hand-inserted tree broadcast of Section 6.1.2, which the authors
+//    used to separate the contention-elimination benefit from the particle
+//    broadcast benefit.
+#pragma once
+
+#include "tmk/runtime.hpp"
+#include "tmk/vector_clock.hpp"
+
+namespace repseq::rse {
+
+/// Multicasts every diff the master created in intervals newer than
+/// `since` to all nodes, which apply them eagerly, then waits for all
+/// acknowledgments.  Call on the master's application fiber immediately
+/// after a (non-replicated) sequential section; `since` is the master's
+/// vector clock from just before the section.
+void broadcast_section_updates(tmk::NodeRuntime& master, const tmk::VectorClock& since);
+
+}  // namespace repseq::rse

@@ -1,0 +1,422 @@
+#include "rse/controller.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace repseq::rse {
+
+namespace {
+constexpr std::uint32_t kEntryBarrier = 0xFFFF0001u;
+constexpr std::uint32_t kExitBarrier = 0xFFFF0002u;
+/// CPU cost per valid-notice entry scanned/serialized during the exchange.
+constexpr sim::SimDuration kPerEntryCost{120};
+
+using tmk::MsgKind;
+using tmk::PageId;
+using tmk::PageProt;
+}  // namespace
+
+RseController::RseController(tmk::Cluster& cluster, FlowControl flow)
+    : cluster_(cluster), flow_(flow), state_(cluster.node_count()) {
+  cluster_.set_rse_hooks(this);
+}
+
+tmk::ValidNoticesP RseController::local_valid_notices(tmk::NodeRuntime& rt) const {
+  tmk::ValidNoticesP out;
+  for (PageId p = 0; p < rt.page_count(); ++p) {
+    const tmk::PageState& ps = rt.page(p);
+    if (!ps.pending.empty()) {
+      out.entries.emplace_back(p, ps.valid_vc);
+    }
+  }
+  return out;
+}
+
+void RseController::enter(tmk::NodeRuntime& rt) {
+  // "A join before a replicated sequential section behaves like a barrier"
+  // (Section 5.2): all threads align and receive the usual consistency
+  // information.
+  rt.barrier(kEntryBarrier);
+
+  NodeState& st = state_[rt.id()];
+  const std::size_t n = cluster_.node_count();
+  const sim::SimTime t0 = cluster_.engine().now();
+
+  if (n > 1) {
+    tmk::ValidNoticesP mine = local_valid_notices(rt);
+    rt.charge(kPerEntryCost * static_cast<std::int64_t>(mine.entries.size() + 1));
+
+    if (rt.is_master()) {
+      if (st.gathering.size() != n) st.gathering.resize(n);
+      st.gathering[0] = mine;
+      while (st.notices_collected != n - 1) {
+        sim::WaitToken tok(cluster_.engine());
+        st.master_gather_waiter = &tok;
+        tok.wait();
+        st.master_gather_waiter = nullptr;
+      }
+      auto table = std::make_shared<const std::vector<tmk::ValidNoticesP>>(
+          std::move(st.gathering));
+      st.gathering.clear();
+      st.notices_collected = 0;
+      rt.send_multicast(MsgKind::ValidTable, tmk::ValidTableP{table}, /*on_server=*/false);
+      st.table = table;
+    } else {
+      rt.send_unicast(MsgKind::ValidNotices, 0, std::move(mine), /*on_server=*/false);
+      while (!st.table) {
+        sim::WaitToken tok(cluster_.engine());
+        st.table_waiter = &tok;
+        tok.wait();
+        st.table_waiter = nullptr;
+      }
+    }
+
+    // Index the table for O(log) per-fault lookups.
+    st.table_index.assign(n, {});
+    for (std::size_t t = 0; t < n; ++t) {
+      for (const auto& [page, vc] : (*st.table)[t].entries) {
+        st.table_index[t].emplace(page, &vc);
+      }
+      rt.charge(kPerEntryCost * static_cast<std::int64_t>((*st.table)[t].entries.size()));
+    }
+    rt.cpu().flush();
+  }
+  valid_notice_time_ += cluster_.engine().now() - t0;
+
+  // Write-protect dirty pages so that pre-section modifications are flushed
+  // into diffs at the first replicated write (the lazy-diff hazard fix of
+  // Section 5.3).
+  for (PageId p = 0; p < rt.page_count(); ++p) {
+    if (rt.page(p).has_twin()) {
+      rt.page(p).rse_write_protected = true;
+    }
+  }
+
+  st.active = true;
+  rt.set_in_replicated_section(true);
+}
+
+void RseController::exit(tmk::NodeRuntime& rt) {
+  NodeState& st = state_[rt.id()];
+  REPSEQ_CHECK(st.active, "RSE exit without enter");
+
+  // Remaining write-protected dirty pages return to their normal state
+  // (Section 5.3); their twins still hold the pre-section modifications.
+  for (PageId p = 0; p < rt.page_count(); ++p) {
+    rt.page(p).rse_write_protected = false;
+  }
+  st.active = false;
+  st.table = nullptr;
+  st.table_index.clear();
+  rt.set_in_replicated_section(false);
+
+  // "At the fork at the end of a sequential section, threads wait until all
+  // other threads have finished...  No memory coherence information is
+  // exchanged" (Section 5.2).  No intervals closed during the section, so
+  // this barrier carries no notices.
+  rt.barrier(kExitBarrier);
+}
+
+std::optional<net::NodeId> RseController::elected_requester(const NodeState& st,
+                                                            PageId page) const {
+  for (net::NodeId t = 0; t < st.table_index.size(); ++t) {
+    if (st.table_index[t].contains(page)) return t;
+  }
+  return std::nullopt;
+}
+
+tmk::WantedByOwner RseController::union_missing(tmk::NodeRuntime& rt, const NodeState& st,
+                                                PageId page) const {
+  std::map<net::NodeId, std::set<std::uint32_t>> want;
+  const auto& notices = rt.page_notices(page);
+  for (net::NodeId t = 0; t < st.table_index.size(); ++t) {
+    auto it = st.table_index[t].find(page);
+    if (it == st.table_index[t].end()) continue;  // t holds a valid copy
+    const tmk::VectorClock& valid = *it->second;
+    for (const tmk::IntervalRecordPtr& rec : notices) {
+      if (rec->owner == t) continue;  // own writes are never missing
+      if (!valid.covers(rec->owner, rec->index)) {
+        want[rec->owner].insert(rec->index);
+      }
+    }
+  }
+  tmk::WantedByOwner out;
+  out.reserve(want.size());
+  for (auto& [owner, ivs] : want) {
+    out.emplace_back(owner, std::vector<std::uint32_t>(ivs.begin(), ivs.end()));
+  }
+  return out;
+}
+
+void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
+  NodeState& st = state_[rt.id()];
+  REPSEQ_CHECK(st.active, "RSE fault outside a replicated section");
+  tmk::PhaseCounters& c = rt.stats().for_phase(cluster_.phase());
+  ++c.page_faults;
+  rt.charge(rt.config().fault_overhead);
+  rt.cpu().flush();
+  const sim::SimTime t0 = cluster_.engine().now();
+
+  const auto requester = elected_requester(st, page);
+  const bool i_request = requester.has_value() && *requester == rt.id();
+  if (i_request) {
+    tmk::WantedByOwner wanted = union_missing(rt, st, page);
+    REPSEQ_CHECK(!wanted.empty(), "requester elected with nothing to request");
+    ++c.fwd_requests;
+    if (flow_ == FlowControl::None) {
+      // Strawman: the faulting node multicasts its request directly; no
+      // serialization at the master, holders reply immediately.
+      tmk::McastDiffRequestP req{0, page, rt.id(), std::move(wanted)};
+      rt.send_multicast(MsgKind::McastDiffRequest, req, /*on_server=*/false);
+      chain_begin(rt, req, /*on_server=*/false);
+    } else {
+      tmk::McastRequestFwdP fwd{page, rt.id(), std::move(wanted)};
+      if (rt.is_master()) {
+        master_enqueue(rt, std::move(fwd), /*on_server=*/false);
+      } else {
+        rt.send_unicast(MsgKind::McastRequestFwd, 0, std::move(fwd), /*on_server=*/false);
+      }
+    }
+  }
+
+  // Everyone missing the page -- the requester included -- blocks until the
+  // multicast replies make the local copy valid.
+  int attempts = 0;
+  while (!rt.wait_page_valid(page, rt.config().rse_wait_timeout)) {
+    ++attempts;
+    ++c.recoveries;
+    REPSEQ_CHECK(attempts <= rt.config().max_retries,
+                 "RSE recovery retries exhausted for page " + std::to_string(page));
+    recover(rt, page);
+  }
+  rt.record_fault_round(t0, /*counted_as_request=*/i_request);
+}
+
+void RseController::recover(tmk::NodeRuntime& rt, PageId page) {
+  // Section 5.4.2: on timeout a thread requests its own missing diffs
+  // directly, ignoring the election; the replies are still multicast.
+  const tmk::WantedByOwner wanted = rt.wanted_for_page(page);
+  for (const auto& [owner, ivs] : wanted) {
+    rt.send_unicast(MsgKind::RecoverRequest, owner, tmk::RecoverRequestP{rt.next_req_id(), page, ivs},
+                    /*on_server=*/false);
+  }
+}
+
+void RseController::master_enqueue(tmk::NodeRuntime& master, tmk::McastRequestFwdP fwd,
+                                   bool on_server) {
+  NodeState& ms = state_[0];
+  ms.queue.push_back(tmk::McastDiffRequestP{0, fwd.page, fwd.requester, std::move(fwd.wanted)});
+  if (!ms.round_in_flight) master_start_next(master, on_server);
+}
+
+void RseController::master_start_next(tmk::NodeRuntime& master, bool on_server) {
+  NodeState& ms = state_[0];
+  if (ms.queue.empty()) {
+    ms.round_in_flight = false;
+    return;
+  }
+  ms.round_in_flight = true;
+  tmk::McastDiffRequestP req = std::move(ms.queue.front());
+  ms.queue.pop_front();
+  req.round = ms.next_round_no++;
+  ms.active_round = req.round;
+  if (flow_ == FlowControl::Windowed) {
+    ms.awaiting_replies.clear();
+    for (const auto& [owner, _] : req.wanted) ms.awaiting_replies.push_back(owner);
+  }
+  master.send_multicast(MsgKind::McastDiffRequest, req, on_server);
+  chain_begin(master, req, on_server);  // the master never receives its own frame
+
+  // Watchdog: a lost frame stalls the ack chain (and with it the round
+  // queue) indefinitely.  If this round is still in flight when the tick
+  // lands, the master abandons it -- the faulters repair themselves through
+  // the direct-recovery path of Section 5.4.2.
+  const std::uint64_t round_no = req.round;
+  ms.round_watchdog =
+      cluster_.engine().schedule_in(master.config().rse_wait_timeout, [this, round_no] {
+        NodeState& m = state_[0];
+        if (m.round_in_flight && m.active_round == round_no) {
+          cluster_.network().nic(0).inbox().push(
+              tmk::make_message(MsgKind::RseRoundTick, 0, 0, tmk::RseRoundTickP{round_no}));
+        }
+      });
+}
+
+void RseController::master_round_finished(tmk::NodeRuntime& master, bool on_server) {
+  NodeState& ms = state_[0];
+  REPSEQ_CHECK(ms.round_in_flight, "round finish without a round");
+  ms.round_in_flight = false;
+  if (ms.round_watchdog) {
+    cluster_.engine().cancel(ms.round_watchdog);
+    ms.round_watchdog = nullptr;
+  }
+  master_start_next(master, on_server);
+}
+
+void RseController::chain_begin(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
+                                bool on_server) {
+  NodeState& st = state_[rt.id()];
+  const bool i_hold = std::any_of(req.wanted.begin(), req.wanted.end(),
+                                  [&](const auto& w) { return w.first == rt.id(); });
+  switch (flow_) {
+    case FlowControl::Chained: {
+      st.round = req.round;
+      st.round_page = req.page;
+      st.round_wanted = req.wanted;
+      st.next_sender = 0;
+      while (st.next_sender == rt.id()) {
+        chain_send_own(rt, on_server);
+      }
+      if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
+        master_round_finished(rt, on_server);
+      }
+      break;
+    }
+    case FlowControl::Windowed:
+    case FlowControl::None: {
+      // Concurrent replies: every holder answers immediately.
+      st.round = req.round;
+      st.round_page = req.page;
+      st.round_wanted = req.wanted;
+      if (i_hold) {
+        auto it = std::find_if(req.wanted.begin(), req.wanted.end(),
+                               [&](const auto& w) { return w.first == rt.id(); });
+        std::vector<tmk::DiffPacket> packets =
+            rt.collect_diffs(req.page, it->second, on_server);
+        rt.send_multicast(
+            MsgKind::McastDiffReply,
+            tmk::McastDiffReplyP{req.round, req.page, rt.id(), std::move(packets)}, on_server);
+        if (flow_ == FlowControl::Windowed && rt.is_master()) {
+          std::erase(state_[0].awaiting_replies, rt.id());
+          if (state_[0].awaiting_replies.empty()) master_round_finished(rt, on_server);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void RseController::chain_send_own(tmk::NodeRuntime& rt, bool on_server) {
+  NodeState& st = state_[rt.id()];
+  auto it = std::find_if(st.round_wanted.begin(), st.round_wanted.end(),
+                         [&](const auto& w) { return w.first == rt.id(); });
+  if (it != st.round_wanted.end()) {
+    std::vector<tmk::DiffPacket> packets = rt.collect_diffs(st.round_page, it->second, on_server);
+    rt.send_multicast(MsgKind::McastDiffReply,
+                      tmk::McastDiffReplyP{st.round, st.round_page, rt.id(), std::move(packets)},
+                      on_server);
+  } else {
+    // "otherwise a null acknowledgment message is sent" (Section 5.4.2).
+    rt.send_multicast(MsgKind::McastNullAck,
+                      tmk::McastNullAckP{st.round, st.round_page, rt.id()}, on_server);
+  }
+  ++st.next_sender;
+}
+
+void RseController::chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server) {
+  NodeState& st = state_[rt.id()];
+  // Without loss, frames arrive strictly in thread-id order (the hub is
+  // FIFO).  A gap means a lost frame: skip over it -- the requester's
+  // timeout recovery repairs any missing diffs.
+  if (sender < st.next_sender) return;  // duplicate or stale
+  st.next_sender = sender + 1;
+  while (st.next_sender == rt.id()) {
+    chain_send_own(rt, on_server);
+  }
+  if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
+    master_round_finished(rt, on_server);
+  }
+}
+
+void RseController::apply_mcast_packets(tmk::NodeRuntime& rt,
+                                        const std::vector<tmk::DiffPacket>& pkts,
+                                        bool on_server) {
+  std::vector<tmk::DiffPacket> relevant;
+  for (const tmk::DiffPacket& pkt : pkts) {
+    // Never touch a page this node already holds valid: its replicated
+    // writes may have moved it past the pre-section image these diffs carry.
+    if (!rt.page(pkt.page).pending.empty()) relevant.push_back(pkt);
+  }
+  if (!relevant.empty()) rt.apply_packets_causally(std::move(relevant), on_server);
+}
+
+bool RseController::on_message(tmk::NodeRuntime& rt, const net::Message& msg) {
+  NodeState& st = state_[rt.id()];
+  switch (tmk::kind_of(msg)) {
+    case MsgKind::ValidNotices: {
+      REPSEQ_CHECK(rt.is_master(), "valid notices routed to non-master");
+      NodeState& ms = state_[0];
+      if (ms.gathering.size() != cluster_.node_count()) {
+        ms.gathering.resize(cluster_.node_count());
+      }
+      ms.gathering[msg.src] = msg.as<tmk::ValidNoticesP>();
+      ++ms.notices_collected;
+      if (ms.notices_collected == cluster_.node_count() - 1 &&
+          ms.master_gather_waiter != nullptr) {
+        ms.master_gather_waiter->signal();
+      }
+      return true;
+    }
+    case MsgKind::ValidTable: {
+      st.table = msg.as<tmk::ValidTableP>().per_node;
+      if (st.table_waiter != nullptr) st.table_waiter->signal();
+      return true;
+    }
+    case MsgKind::McastRequestFwd: {
+      REPSEQ_CHECK(rt.is_master(), "forwarded request routed to non-master");
+      master_enqueue(rt, msg.as<tmk::McastRequestFwdP>(), /*on_server=*/true);
+      return true;
+    }
+    case MsgKind::McastDiffRequest: {
+      chain_begin(rt, msg.as<tmk::McastDiffRequestP>(), /*on_server=*/true);
+      return true;
+    }
+    case MsgKind::McastDiffReply: {
+      const auto& r = msg.as<tmk::McastDiffReplyP>();
+      apply_mcast_packets(rt, r.packets, /*on_server=*/true);
+      if (r.round != 0) {
+        if (flow_ == FlowControl::Chained && r.round == st.round) {
+          chain_observe(rt, r.sender, /*on_server=*/true);
+        } else if (flow_ == FlowControl::Windowed && rt.is_master() &&
+                   state_[0].round_in_flight) {
+          std::erase(state_[0].awaiting_replies, r.sender);
+          if (state_[0].awaiting_replies.empty()) {
+            master_round_finished(rt, /*on_server=*/true);
+          }
+        }
+      }
+      return true;
+    }
+    case MsgKind::McastNullAck: {
+      const auto& a = msg.as<tmk::McastNullAckP>();
+      if (flow_ == FlowControl::Chained && a.round == st.round) {
+        chain_observe(rt, a.sender, /*on_server=*/true);
+      }
+      return true;
+    }
+    case MsgKind::RecoverRequest: {
+      const auto& r = msg.as<tmk::RecoverRequestP>();
+      std::vector<tmk::DiffPacket> packets = rt.collect_diffs(r.page, r.intervals,
+                                                              /*on_server=*/true);
+      rt.send_multicast(MsgKind::McastDiffReply,
+                        tmk::McastDiffReplyP{0, r.page, rt.id(), std::move(packets)},
+                        /*on_server=*/true);
+      return true;
+    }
+    case MsgKind::RseRoundTick: {
+      REPSEQ_CHECK(rt.is_master(), "round tick on non-master");
+      NodeState& ms = state_[0];
+      const auto& tick = msg.as<tmk::RseRoundTickP>();
+      if (ms.round_in_flight && ms.active_round == tick.round) {
+        master_round_finished(rt, /*on_server=*/true);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace repseq::rse

@@ -1,0 +1,127 @@
+// Replicated sequential execution (the paper's contribution, Sections 4-5).
+//
+// Every node executes the sequential section on its own copy of shared
+// data.  Entry performs the join-as-barrier, the valid-notice exchange
+// (Section 5.4.1) and the dirty-page write-protection pass (Section 5.3).
+// Faults during the section use the flow-controlled multicast protocol
+// (Section 5.4.2): one elected requester per page forwards a request to the
+// master, the master serializes rounds and multicasts the request, and
+// holders reply by multicast in thread-id order with chained (null-)
+// acknowledgments.  Exit is a plain barrier exchanging no coherence
+// information (Section 5.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "tmk/runtime.hpp"
+
+namespace repseq::rse {
+
+/// Flow-control policy for the multicast diff replies (Section 5.4.3
+/// discusses the chained scheme's overhead; Windowed is the paper's
+/// envisioned less-conservative scheme; None is the strawman from the start
+/// of Section 5.4 that overruns receive buffers).
+enum class FlowControl {
+  Chained,   // paper protocol: serialized rounds + per-thread ack chain
+  Windowed,  // serialized rounds, concurrent replies, no null acks
+  None,      // no master serialization, no acks: requester multicasts
+};
+
+class RseController final : public tmk::RseHooks {
+ public:
+  explicit RseController(tmk::Cluster& cluster, FlowControl flow = FlowControl::Chained);
+
+  RseController(const RseController&) = delete;
+  RseController& operator=(const RseController&) = delete;
+
+  /// Section bracket, called on EVERY node's application fiber (the omp
+  /// layer forks the section body to the slaves).
+  void enter(tmk::NodeRuntime& rt);
+  void exit(tmk::NodeRuntime& rt);
+
+  [[nodiscard]] FlowControl flow() const { return flow_; }
+
+  // --- RseHooks (dispatcher + fault integration) ---
+  void on_fault(tmk::NodeRuntime& rt, tmk::PageId page) override;
+  bool on_message(tmk::NodeRuntime& rt, const net::Message& msg) override;
+
+  /// Total virtual time nodes spent inside the valid-notice exchange
+  /// (reported in Section 6 as part of the overhead decomposition).
+  [[nodiscard]] sim::SimDuration valid_notice_time() const { return valid_notice_time_; }
+
+ private:
+  struct NodeState {
+    bool active = false;
+    /// The aggregated valid-notice table multicast by the master.
+    std::shared_ptr<const std::vector<tmk::ValidNoticesP>> table;
+    /// Per-thread page -> validity lookup built from `table` (points into
+    /// it; the shared_ptr keeps the storage alive).
+    std::vector<std::map<tmk::PageId, const tmk::VectorClock*>> table_index;
+    /// Waiting app fiber during the table exchange.
+    sim::WaitToken* table_waiter = nullptr;
+
+    // ---- chained-reply state for the round in progress ----
+    std::uint64_t round = 0;        // 0 = idle
+    tmk::PageId round_page = 0;
+    tmk::WantedByOwner round_wanted;
+    net::NodeId next_sender = 0;
+
+    // ---- master-only round serialization ----
+    std::deque<tmk::McastDiffRequestP> queue;
+    bool round_in_flight = false;
+    std::uint64_t active_round = 0;
+    std::uint64_t next_round_no = 1;
+    sim::EventQueue::Handle round_watchdog;
+    std::uint32_t notices_collected = 0;
+    std::vector<tmk::ValidNoticesP> gathering;
+    sim::WaitToken* master_gather_waiter = nullptr;
+    /// Windowed mode: owners whose reply for the current round is pending.
+    std::vector<net::NodeId> awaiting_replies;
+  };
+
+  /// Computes this node's valid notices: one (page, valid_vc) entry per
+  /// page it would fault on.
+  [[nodiscard]] tmk::ValidNoticesP local_valid_notices(tmk::NodeRuntime& rt) const;
+
+  /// Requester election for `page`: the lowest-id thread whose table entry
+  /// shows it will fault (Section 5.4.1).
+  [[nodiscard]] std::optional<net::NodeId> elected_requester(const NodeState& st,
+                                                             tmk::PageId page) const;
+
+  /// Union over all faulting threads of their missing diffs for `page`.
+  [[nodiscard]] tmk::WantedByOwner union_missing(tmk::NodeRuntime& rt, const NodeState& st,
+                                                 tmk::PageId page) const;
+
+  /// Master: enqueue a forwarded request, start it if no round is active.
+  void master_enqueue(tmk::NodeRuntime& master, tmk::McastRequestFwdP fwd, bool on_server);
+  void master_start_next(tmk::NodeRuntime& master, bool on_server);
+  void master_round_finished(tmk::NodeRuntime& master, bool on_server);
+
+  /// Begins chain processing for a multicast request at node `rt`.
+  void chain_begin(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req, bool on_server);
+  /// Advances the ack chain after `sender`'s frame was observed.
+  void chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server);
+  /// Sends this node's frame (diffs or null ack) when it is its turn.
+  void chain_send_own(tmk::NodeRuntime& rt, bool on_server);
+
+  /// Applies multicast diff packets if (and only if) this node still misses
+  /// them; valid pages are never overwritten (their replicated writes may
+  /// already have diverged from the pre-section image).
+  void apply_mcast_packets(tmk::NodeRuntime& rt, const std::vector<tmk::DiffPacket>& pkts,
+                           bool on_server);
+
+  /// Timeout recovery (Section 5.4.2): request own missing diffs directly.
+  void recover(tmk::NodeRuntime& rt, tmk::PageId page);
+
+  tmk::Cluster& cluster_;
+  FlowControl flow_;
+  std::vector<NodeState> state_;
+  sim::SimDuration valid_notice_time_{};
+};
+
+}  // namespace repseq::rse

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace repseq::sim {
+
+EventQueue::Handle EventQueue::schedule(SimTime t, Callback fn) {
+  auto e = std::make_shared<Entry>(Entry{t, next_seq_++, std::move(fn), false});
+  heap_.push(e);
+  ++live_;
+  return e;
+}
+
+void EventQueue::cancel(const Handle& h) {
+  if (h && !h->cancelled) {
+    h->cancelled = true;
+    --live_;
+  }
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  REPSEQ_CHECK(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.top()->time;
+}
+
+EventQueue::Handle EventQueue::pop() {
+  drop_cancelled();
+  REPSEQ_CHECK(!heap_.empty(), "pop() on empty event queue");
+  Handle e = heap_.top();
+  heap_.pop();
+  --live_;
+  return e;
+}
+
+}  // namespace repseq::sim

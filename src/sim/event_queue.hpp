@@ -1,0 +1,65 @@
+// Cancellable min-heap event queue for the discrete-event engine.
+//
+// Ties on the timestamp are broken by insertion sequence number, which makes
+// the event order -- and therefore the whole simulation -- deterministic.
+// Cancellation is lazy: a cancelled entry stays in the heap and is skipped
+// when popped (the CPU-preemption model cancels and reschedules wake events
+// frequently, so O(1) cancel matters).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace repseq::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq = 0;
+    Callback fn;
+    bool cancelled = false;
+  };
+  using Handle = std::shared_ptr<Entry>;
+
+  /// Schedules `fn` to run at absolute time `t`.  Returns a handle usable
+  /// with cancel().
+  Handle schedule(SimTime t, Callback fn);
+
+  /// Marks an event as cancelled; it will be skipped.  Safe to call twice.
+  void cancel(const Handle& h);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const;
+
+  /// Time of the earliest live event.  Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event.  Precondition: !empty().
+  Handle pop();
+
+  [[nodiscard]] std::size_t live_count() const { return live_; }
+
+ private:
+  void drop_cancelled() const;
+
+  struct Later {
+    bool operator()(const Handle& a, const Handle& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+  // mutable: drop_cancelled() prunes dead heads from const observers.
+  mutable std::priority_queue<Handle, std::vector<Handle>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace repseq::sim

@@ -1,0 +1,71 @@
+#include "sim/fiber.hpp"
+
+#include "util/check.hpp"
+
+namespace repseq::sim {
+
+namespace {
+// The fiber being switched into; set immediately before swapcontext so the
+// trampoline can find its Fiber object.  Single-threaded by design.
+thread_local Fiber* g_current = nullptr;
+thread_local Fiber* g_trampoline_arg = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::string name, Fn fn, std::size_t stack_bytes)
+    : name_(std::move(name)), fn_(std::move(fn)), stack_(stack_bytes) {
+  REPSEQ_CHECK(fn_ != nullptr, "fiber requires a body");
+}
+
+Fiber::~Fiber() {
+  // A fiber destroyed while suspended simply abandons its stack; the engine
+  // only does this after `run()` has drained, so no cleanup runs mid-flight.
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+void Fiber::trampoline() {
+  Fiber* self = g_trampoline_arg;
+  try {
+    self->fn_();
+  } catch (...) {
+    self->failure_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Fall through: returning from the makecontext entry point resumes
+  // uc_link, which we point at the engine's context.
+}
+
+void Fiber::resume() {
+  REPSEQ_CHECK(g_current == nullptr, "resume() must be called from the engine context");
+  REPSEQ_CHECK(!finished_, "cannot resume a finished fiber: " + name_);
+  if (!started_) {
+    started_ = true;
+    REPSEQ_CHECK(getcontext(&context_) == 0, "getcontext failed");
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &return_context_;
+    g_trampoline_arg = this;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  g_current = this;
+  REPSEQ_CHECK(swapcontext(&return_context_, &context_) == 0, "swapcontext failed");
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  REPSEQ_CHECK(self != nullptr, "yield() must be called from inside a fiber");
+  g_current = nullptr;
+  REPSEQ_CHECK(swapcontext(&self->context_, &self->return_context_) == 0, "swapcontext failed");
+  g_current = self;
+}
+
+void Fiber::rethrow_if_failed() {
+  if (failure_) {
+    std::exception_ptr e = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace repseq::sim

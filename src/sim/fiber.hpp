@@ -1,0 +1,69 @@
+// Cooperative fibers: one per simulated cluster node (plus one per request
+// server).  The discrete-event engine is the only scheduler -- a fiber runs
+// until it yields, so the simulation is single-threaded and deterministic.
+//
+// Implementation uses POSIX ucontext.  Exceptions thrown inside a fiber are
+// captured and rethrown on the engine's context when the fiber is reaped.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace repseq::sim {
+
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  static constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+
+  Fiber(std::string name, Fn fn, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from the engine context into this fiber.  Returns when the
+  /// fiber yields or finishes.  Must not be called from inside a fiber.
+  void resume();
+
+  /// Switches from the current fiber back to the engine.  Must be called
+  /// from inside a fiber.
+  static void yield();
+
+  /// The fiber currently executing, or nullptr when on the engine context.
+  static Fiber* current();
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Fiber-local storage slot: the DSM layer hangs the owning node's
+  /// runtime here so application code can find "its" node without plumbing
+  /// a context parameter through every call.
+  void set_user_data(void* p) { user_data_ = p; }
+  [[nodiscard]] void* user_data() const { return user_data_; }
+
+  /// Rethrows the exception (if any) that escaped the fiber body.
+  void rethrow_if_failed();
+
+ private:
+  static void trampoline();
+
+  std::string name_;
+  Fn fn_;
+  std::vector<char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool finished_ = false;
+  std::exception_ptr failure_{};
+  void* user_data_ = nullptr;
+};
+
+}  // namespace repseq::sim

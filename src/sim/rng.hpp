@@ -1,0 +1,43 @@
+// Deterministic pseudo-random numbers for workload generation and loss
+// injection.  SplitMix64: tiny state, good statistical quality, and the
+// sequence is fixed by the seed alone -- two simulation runs with the same
+// seed produce bit-identical event streams.
+#pragma once
+
+#include <cstdint>
+
+namespace repseq::sim {
+
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).  `bound` must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) { return next_u64() % bound; }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) { return lo + next_double() * (hi - lo); }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return next_double() < p; }
+
+  /// Derives an independent stream (for per-component RNGs).
+  [[nodiscard]] constexpr Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace repseq::sim

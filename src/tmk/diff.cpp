@@ -1,0 +1,53 @@
+#include "tmk/diff.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace repseq::tmk {
+
+Diff Diff::create(std::span<const std::byte> twin, std::span<const std::byte> current) {
+  REPSEQ_CHECK(twin.size() == current.size(), "twin/page size mismatch");
+  REPSEQ_CHECK(twin.size() % 4 == 0, "page size must be a multiple of 4");
+  const std::size_t words = twin.size() / 4;
+
+  Diff d;
+  std::size_t w = 0;
+  while (w < words) {
+    // Skip unchanged words.
+    while (w < words && std::memcmp(twin.data() + 4 * w, current.data() + 4 * w, 4) == 0) {
+      ++w;
+    }
+    if (w >= words) break;
+    Run run;
+    run.word_index = static_cast<std::uint32_t>(w);
+    while (w < words && std::memcmp(twin.data() + 4 * w, current.data() + 4 * w, 4) != 0) {
+      std::uint32_t v;
+      std::memcpy(&v, current.data() + 4 * w, 4);
+      run.values.push_back(v);
+      ++w;
+    }
+    d.runs_.push_back(std::move(run));
+  }
+  return d;
+}
+
+void Diff::apply(std::span<std::byte> page) const {
+  for (const Run& r : runs_) {
+    REPSEQ_CHECK((r.word_index + r.values.size()) * 4 <= page.size(), "diff run out of range");
+    std::memcpy(page.data() + 4 * r.word_index, r.values.data(), 4 * r.values.size());
+  }
+}
+
+std::size_t Diff::word_count() const {
+  std::size_t n = 0;
+  for (const Run& r : runs_) n += r.values.size();
+  return n;
+}
+
+std::size_t Diff::wire_bytes() const {
+  // 12-byte header (page id, owner, interval) + 8 bytes per run + payload.
+  return 12 + 8 * runs_.size() + 4 * word_count();
+}
+
+}  // namespace repseq::tmk

@@ -1,0 +1,49 @@
+// Diffs: the multiple-writer protocol's unit of update propagation.
+//
+// A diff is the run-length encoding of the words that changed between a
+// page's twin (copy taken at the first write) and its current contents
+// (paper Section 2.2.2).  Applying a diff overwrites exactly those words,
+// which is what lets concurrent writers to disjoint parts of a page merge
+// without false-sharing ping-pong.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace repseq::tmk {
+
+class Diff {
+ public:
+  /// One run of modified 32-bit words.
+  struct Run {
+    std::uint32_t word_index;            // offset within the page, in words
+    std::vector<std::uint32_t> values;   // new values
+  };
+
+  /// Builds the diff `twin -> current`.  Both spans must be the same size,
+  /// a multiple of 4 bytes.
+  static Diff create(std::span<const std::byte> twin, std::span<const std::byte> current);
+
+  /// Overwrites the runs into `page`.
+  void apply(std::span<std::byte> page) const;
+
+  [[nodiscard]] bool empty() const { return runs_.empty(); }
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+
+  /// Number of words carried.
+  [[nodiscard]] std::size_t word_count() const;
+
+  /// Encoded size on the wire: per-run header (index + length, 8 bytes)
+  /// plus 4 bytes per word, plus a fixed page/interval header.
+  [[nodiscard]] std::size_t wire_bytes() const;
+
+ private:
+  std::vector<Run> runs_;
+};
+
+using DiffPtr = std::shared_ptr<const Diff>;
+
+}  // namespace repseq::tmk

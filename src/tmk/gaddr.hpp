@@ -1,0 +1,35 @@
+// Global (shared) addresses.  TreadMarks keeps shared data on a shared heap
+// mapped at the same address on every node; we represent a shared address as
+// a byte offset into that heap, translated per-node to local backing memory.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace repseq::tmk {
+
+using PageId = std::uint32_t;
+
+/// A byte offset into the shared heap.  Value 0 is a valid address (heap
+/// start); use GAddr::null() / is_null() for "no address" semantics.
+struct GAddr {
+  static constexpr std::uint64_t kNull = ~0ull;
+
+  std::uint64_t off = kNull;
+
+  [[nodiscard]] static constexpr GAddr null() { return GAddr{}; }
+  [[nodiscard]] constexpr bool is_null() const { return off == kNull; }
+
+  constexpr auto operator<=>(const GAddr&) const = default;
+  constexpr GAddr operator+(std::uint64_t delta) const { return GAddr{off + delta}; }
+};
+
+/// Page arithmetic helpers.
+constexpr PageId page_of(GAddr a, std::size_t page_bytes) {
+  return static_cast<PageId>(a.off / page_bytes);
+}
+constexpr std::size_t page_offset(GAddr a, std::size_t page_bytes) {
+  return static_cast<std::size_t>(a.off % page_bytes);
+}
+
+}  // namespace repseq::tmk

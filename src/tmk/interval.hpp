@@ -1,0 +1,85 @@
+// Interval records and the per-node interval log.
+//
+// An interval is the span of a thread's execution between two consecutive
+// synchronization operations that produced shared-memory writes.  Its record
+// carries a vector timestamp and the list of pages written (the write
+// notices).  Records are immutable once published; every node's log
+// eventually holds the records it needs by virtue of the consistency
+// protocol's notice exchange.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tmk/gaddr.hpp"
+#include "tmk/vector_clock.hpp"
+#include "util/check.hpp"
+
+namespace repseq::tmk {
+
+struct IntervalRecord {
+  NodeId owner = 0;
+  std::uint32_t index = 0;  // owner's interval counter value
+  VectorClock vc;           // timestamp of the interval
+  std::vector<PageId> pages;  // write notices
+
+  /// Serialized size: owner + index (8) + vc + 4 bytes per page id.
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return 8 + vc.wire_bytes() + 4 * pages.size();
+  }
+};
+
+using IntervalRecordPtr = std::shared_ptr<const IntervalRecord>;
+
+/// All interval records a node knows, indexed by owner.  Records per owner
+/// are stored densely in index order (index i at position i-1).
+class IntervalLog {
+ public:
+  explicit IntervalLog(std::size_t nodes) : per_owner_(nodes) {}
+
+  /// Highest interval index known for `owner` (0 = none).
+  [[nodiscard]] std::uint32_t known(NodeId owner) const {
+    return static_cast<std::uint32_t>(per_owner_[owner].size());
+  }
+
+  /// Inserts a record; must arrive in index order per owner (the protocol
+  /// guarantees this: notices propagate along synchronization edges).
+  /// Duplicate arrivals are ignored.
+  void insert(IntervalRecordPtr rec) {
+    auto& vec = per_owner_[rec->owner];
+    if (rec->index <= vec.size()) return;  // already known
+    REPSEQ_CHECK(rec->index == vec.size() + 1,
+                 "interval record gap for owner " + std::to_string(rec->owner) + ": have " +
+                     std::to_string(vec.size()) + ", got " + std::to_string(rec->index));
+    vec.push_back(std::move(rec));
+  }
+
+  [[nodiscard]] const IntervalRecord& get(NodeId owner, std::uint32_t index) const {
+    REPSEQ_CHECK(index >= 1 && index <= per_owner_[owner].size(), "unknown interval");
+    return *per_owner_[owner][index - 1];
+  }
+
+  [[nodiscard]] IntervalRecordPtr get_ptr(NodeId owner, std::uint32_t index) const {
+    REPSEQ_CHECK(index >= 1 && index <= per_owner_[owner].size(), "unknown interval");
+    return per_owner_[owner][index - 1];
+  }
+
+  /// All records not covered by `vc`, i.e. those the holder of `vc` has not
+  /// yet seen.  Returned in (owner, index) order.
+  [[nodiscard]] std::vector<IntervalRecordPtr> records_after(const VectorClock& vc) const {
+    std::vector<IntervalRecordPtr> out;
+    for (NodeId o = 0; o < per_owner_.size(); ++o) {
+      for (std::uint32_t i = vc.at(o) + 1; i <= known(o); ++i) {
+        out.push_back(per_owner_[o][i - 1]);
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<IntervalRecordPtr>> per_owner_;
+};
+
+}  // namespace repseq::tmk

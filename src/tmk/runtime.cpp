@@ -1,0 +1,873 @@
+#include "tmk/runtime.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "util/check.hpp"
+
+namespace repseq::tmk {
+
+namespace {
+sim::SimDuration per_byte(double ns_per_byte, std::size_t bytes) {
+  return sim::SimDuration{static_cast<std::int64_t>(ns_per_byte * static_cast<double>(bytes))};
+}
+
+// Debug tracing for one page, enabled via REPSEQ_TRACE_PAGE=<id>.
+int traced_page() {
+  static const int p = [] {
+    const char* v = std::getenv("REPSEQ_TRACE_PAGE");
+    return v != nullptr ? std::atoi(v) : -1;
+  }();
+  return p;
+}
+
+#define REPSEQ_PAGE_TRACE(page, fmt, ...)                                       \
+  do {                                                                          \
+    if (static_cast<int>(page) == traced_page()) [[unlikely]] {                 \
+      std::fprintf(stderr, "[page %u] node %u: " fmt "\n", (page), id_, ##__VA_ARGS__); \
+    }                                                                           \
+  } while (false)
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NodeRuntime: construction and trivial accessors
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(Cluster& cluster, NodeId id)
+    : cluster_(cluster),
+      id_(id),
+      cpu_(cluster.engine(), cluster.config().compute_quantum),
+      mem_(cluster.config().heap_bytes),
+      pages_(cluster.config().heap_bytes / cluster.config().page_bytes),
+      vc_(cluster.node_count()),
+      log_(cluster.node_count()),
+      fork_ch_(cluster.engine()),
+      depart_ch_(cluster.engine()),
+      join_ch_(cluster.engine()),
+      grant_ch_(cluster.engine()),
+      last_master_vc_(cluster.node_count()) {
+  for (PageState& ps : pages_) ps.valid_vc = VectorClock(cluster.node_count());
+  if (id_ == 0) {
+    slave_known_vc_.assign(cluster.node_count(), VectorClock(cluster.node_count()));
+  }
+}
+
+const TmkConfig& NodeRuntime::config() const { return cluster_.config(); }
+std::size_t NodeRuntime::node_count() const { return cluster_.node_count(); }
+RseHooks* NodeRuntime::rse_hooks() const { return cluster_.rse_hooks(); }
+
+std::span<std::byte> NodeRuntime::page_span(PageId p) {
+  const std::size_t pb = config().page_bytes;
+  return {mem_.data() + static_cast<std::size_t>(p) * pb, pb};
+}
+
+std::span<const std::byte> NodeRuntime::page_span(PageId p) const {
+  const std::size_t pb = config().page_bytes;
+  return {mem_.data() + static_cast<std::size_t>(p) * pb, pb};
+}
+
+// ---------------------------------------------------------------------------
+// Access barriers
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::read_barrier(GAddr addr, std::size_t bytes) {
+  REPSEQ_CHECK(!addr.is_null(), "read through null shared address");
+  const std::size_t pb = config().page_bytes;
+  const PageId first = page_of(addr, pb);
+  const PageId last = page_of(addr + (bytes == 0 ? 0 : bytes - 1), pb);
+  for (PageId p = first; p <= last; ++p) {
+    if (pages_[p].prot == PageProt::Invalid) {
+      if (in_replicated_section_ && rse_hooks() != nullptr) {
+        rse_hooks()->on_fault(*this, p);
+      } else {
+        fault_in_page(p);
+      }
+    }
+  }
+}
+
+void NodeRuntime::write_barrier(GAddr addr, std::size_t bytes) {
+  REPSEQ_CHECK(!addr.is_null(), "write through null shared address");
+  const std::size_t pb = config().page_bytes;
+  const PageId first = page_of(addr, pb);
+  const PageId last = page_of(addr + (bytes == 0 ? 0 : bytes - 1), pb);
+  for (PageId p = first; p <= last; ++p) {
+    PageState& ps = pages_[p];
+
+    if (in_replicated_section_) {
+      // Writes during replicated execution are performed identically by
+      // every node; they are never twinned or diffed.  The only special
+      // case is the Section 5.3 hazard: a page dirty from *before* the
+      // section must flush its pre-section modifications into a diff at
+      // the first replicated write.
+      if (ps.prot == PageProt::Invalid) {
+        if (rse_hooks() != nullptr) {
+          rse_hooks()->on_fault(*this, p);
+        } else {
+          fault_in_page(p);
+        }
+      }
+      if (ps.rse_write_protected) {
+        charge(config().fault_overhead);  // the write-protection trap
+        flush_diff(p, /*on_server=*/false);
+        ps.rse_write_protected = false;
+      }
+      continue;
+    }
+
+    if (ps.prot == PageProt::Writable) {  // fast path, no yield
+      REPSEQ_CHECK(ps.has_twin(), "writable page without twin");
+      if (!ps.dirty_in_current) {
+        ps.dirty_in_current = true;
+        current_dirty_.push_back(p);
+      }
+      continue;
+    }
+
+    // Slow path.  Charging compute may yield, and a concurrently-arriving
+    // write notice (dispatcher fiber) may invalidate the page meanwhile, so
+    // all charges happen before a commit step that never yields.
+    charge(config().fault_overhead);
+    charge(per_byte(config().twin_ns_per_byte, pb));
+    for (;;) {
+      if (ps.prot == PageProt::Invalid) {
+        fault_in_page(p);
+        continue;  // re-examine: state can change across the fault
+      }
+      if (ps.prot == PageProt::Writable) {
+        if (!ps.dirty_in_current) {
+          ps.dirty_in_current = true;
+          current_dirty_.push_back(p);
+        }
+        break;
+      }
+      // ReadOnly: create the twin and commit, yield-free.
+      REPSEQ_PAGE_TRACE(p, "write fault: twin created (vc_self=%u)", vc_.at(id_));
+      ps.twin = std::make_unique<std::byte[]>(pb);
+      std::memcpy(ps.twin.get(), page_span(p).data(), pb);
+      ps.prot = PageProt::Writable;
+      if (!ps.dirty_in_current) {
+        ps.dirty_in_current = true;
+        current_dirty_.push_back(p);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Intervals, notices, diffs
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::end_interval() {
+  cpu_.flush();
+  if (current_dirty_.empty()) return;
+  vc_.bump(id_);
+  const std::uint32_t idx = vc_.at(id_);
+  auto rec = std::make_shared<IntervalRecord>();
+  rec->owner = id_;
+  rec->index = idx;
+  rec->vc = vc_;
+  rec->pages = current_dirty_;
+  log_.insert(rec);
+  for (PageId p : rec->pages) page_notice_index_[p].push_back(rec);
+  for (PageId p : current_dirty_) {
+    PageState& ps = pages_[p];
+    ps.dirty_in_current = false;
+    ps.valid_vc.set(id_, idx);
+    if (ps.has_twin()) {
+      ps.open_intervals.push_back(idx);
+      REPSEQ_PAGE_TRACE(p, "end_interval idx=%u (twin kept)", idx);
+    } else if (own_diffs_.find({p, idx}) == own_diffs_.end()) {
+      // The twin was flushed early (mid-interval diff request) and nothing
+      // was written afterwards.  The interval's modifications already
+      // travelled inside the flushed diff under its closed covers; register
+      // an empty diff so requests for this interval are answerable.
+      own_diffs_[{p, idx}].push_back(std::make_shared<const RegisteredDiff>(RegisteredDiff{
+          next_diff_seq_++, {idx}, std::make_shared<const Diff>()}));
+      REPSEQ_PAGE_TRACE(p, "end_interval idx=%u (no twin: empty diff registered)", idx);
+    }
+  }
+  current_dirty_.clear();
+}
+
+void NodeRuntime::apply_notice(const IntervalRecordPtr& rec, bool on_server) {
+  if (rec->index <= log_.known(rec->owner)) return;  // duplicate
+  log_.insert(rec);
+  for (PageId p : rec->pages) page_notice_index_[p].push_back(rec);
+  if (rec->owner == id_) return;  // own records never invalidate locally
+  for (PageId p : rec->pages) {
+    PageState& ps = pages_[p];
+    if (ps.valid_vc.covers(rec->owner, rec->index)) {
+      // This copy already incorporates the interval (a previously applied
+      // merged diff covered it ahead of the notice's arrival).
+      continue;
+    }
+    if (ps.has_twin()) {
+      // Multiple-writer protocol: capture local modifications in a diff
+      // before the page is invalidated by a remote notice.
+      flush_diff(p, on_server);
+    }
+    ps.prot = PageProt::Invalid;
+    ps.pending.push_back(rec);
+    REPSEQ_PAGE_TRACE(p, "invalidated by notice owner=%u idx=%u", rec->owner, rec->index);
+  }
+}
+
+void NodeRuntime::flush_diff(PageId p, bool on_server) {
+  PageState& ps = pages_[p];
+  if (!ps.has_twin()) return;
+  const std::size_t pb = config().page_bytes;
+
+  const sim::SimDuration cost =
+      config().diff_create_fixed + per_byte(config().diff_create_ns_per_byte, pb);
+  if (on_server) {
+    cpu_.service(cost);
+  } else {
+    charge(cost);
+  }
+
+  auto diff = std::make_shared<const Diff>(
+      Diff::create({ps.twin.get(), pb}, page_span(p)));
+
+  REPSEQ_PAGE_TRACE(p, "flush_diff open=%zu dirty=%d vc_self=%u", ps.open_intervals.size(),
+                    ps.dirty_in_current ? 1 : 0, vc_.at(id_));
+  // Coverage rule.  The diff carries every modification since the twin was
+  // taken, which may span several *closed* intervals plus a prefix of the
+  // still-open one.  It is registered under the closed intervals only: any
+  // node that "has" one of those closed intervals can only have gotten it
+  // by applying this very diff (a flushed twin never re-opens), so the
+  // open-interval prefix always travels with the closed covers and never
+  // needs a separate registration.  Registering under the open interval's
+  // future index would let a node that already applied this diff re-fetch
+  // it later and clobber its own (or third parties') newer writes.
+  // Exception: a twin created *inside* the open interval carries only that
+  // interval's writes and is registered under its future index.
+  std::vector<std::uint32_t> covers = ps.open_intervals;
+  if (ps.dirty_in_current && covers.empty()) {
+    covers.push_back(vc_.at(id_) + 1);
+  }
+  REPSEQ_CHECK(!covers.empty(), "twin with no covered intervals");
+  auto rd = std::make_shared<const RegisteredDiff>(
+      RegisteredDiff{next_diff_seq_++, covers, std::move(diff)});
+  for (std::uint32_t i : covers) {
+    own_diffs_[{p, i}].push_back(rd);
+  }
+  ps.open_intervals.clear();
+  ps.twin.reset();
+  if (ps.prot == PageProt::Writable) {
+    ps.prot = PageProt::ReadOnly;  // next write re-twins
+  }
+}
+
+std::vector<DiffPacket> NodeRuntime::collect_diffs(PageId page,
+                                                   const std::vector<std::uint32_t>& intervals,
+                                                   bool on_server) {
+  PageState& ps = pages_[page];
+  // A requested interval whose modifications are (partly) still under the
+  // twin must be flushed first, or the frozen batch would miss its suffix.
+  if (ps.has_twin()) {
+    const bool twin_covers_request =
+        std::any_of(intervals.begin(), intervals.end(), [&](std::uint32_t i) {
+          return std::find(ps.open_intervals.begin(), ps.open_intervals.end(), i) !=
+                 ps.open_intervals.end();
+        });
+    if (twin_covers_request) flush_diff(page, on_server);
+  }
+  // Answer each registered batch once, carrying its FULL covers so the
+  // receiver can recognize batches it has already applied.
+  std::map<const RegisteredDiff*, RegisteredDiffPtr> unique;
+  for (std::uint32_t i : intervals) {
+    auto it = own_diffs_.find({page, i});
+    REPSEQ_CHECK(it != own_diffs_.end(),
+                 "diff requested for unknown interval " + std::to_string(i) + " of page " +
+                     std::to_string(page));
+    for (const RegisteredDiffPtr& rd : it->second) {
+      unique.emplace(rd.get(), rd);
+    }
+  }
+  std::vector<DiffPacket> out;
+  out.reserve(unique.size());
+  for (const auto& [_, rd] : unique) {
+    DiffPacket pkt;
+    pkt.owner = id_;
+    pkt.page = page;
+    pkt.covers = rd->covers;
+    pkt.diff = rd->diff;
+    pkt.seq = rd->seq;
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+void NodeRuntime::apply_packet(const DiffPacket& pkt) {
+  PageState& ps = pages_[pkt.page];
+  const std::uint32_t oldest = *std::min_element(pkt.covers.begin(), pkt.covers.end());
+  // Batch guard: if this copy's validity already reaches the batch's oldest
+  // interval, this exact frozen batch was applied here before.  Re-applying
+  // it would overwrite every write that landed since (local writes and other
+  // owners' diffs) with the batch's stale image.  The notices it satisfies
+  // are still cleared below.
+  const bool already_applied = ps.valid_vc.at(pkt.owner) >= oldest;
+  REPSEQ_PAGE_TRACE(pkt.page, "apply diff owner=%u covers[0]=%u nwords=%zu seq=%llu%s",
+                    pkt.owner, pkt.covers.empty() ? 0u : pkt.covers[0],
+                    pkt.diff->word_count(), (unsigned long long)pkt.seq,
+                    already_applied ? " (skipped: already applied)" : "");
+  if (!already_applied) {
+    pkt.diff->apply(page_span(pkt.page));
+  }
+  std::uint32_t newest = 0;
+  for (std::uint32_t i : pkt.covers) {
+    newest = std::max(newest, i);
+    auto it = std::find_if(ps.pending.begin(), ps.pending.end(),
+                           [&](const IntervalRecordPtr& r) {
+                             return r->owner == pkt.owner && r->index == i;
+                           });
+    if (it != ps.pending.end()) ps.pending.erase(it);
+  }
+  if (newest > ps.valid_vc.at(pkt.owner)) ps.valid_vc.set(pkt.owner, newest);
+}
+
+void NodeRuntime::apply_packets_causally(std::vector<DiffPacket> pkts, bool on_server) {
+  // Causal order: by the Lamport projection of the newest covered interval.
+  // Data-race-free programs order same-word writers totally, so the writer
+  // whose interval is causally latest must land last.
+  auto lamport = [&](const DiffPacket& pkt) {
+    // Covers can extend past this node's log (a batch may be frozen through
+    // intervals whose notices have not reached us yet); key on the newest
+    // cover we know about.
+    std::uint32_t newest = 0;
+    for (std::uint32_t i : pkt.covers) {
+      if (i <= log_.known(pkt.owner)) newest = std::max(newest, i);
+    }
+    REPSEQ_CHECK(newest > 0, "diff batch with no locally-known cover");
+    return log_.get(pkt.owner, newest).vc.lamport_sum();
+  };
+  std::stable_sort(pkts.begin(), pkts.end(), [&](const DiffPacket& a, const DiffPacket& b) {
+    const auto la = lamport(a);
+    const auto lb = lamport(b);
+    if (la != lb) return la < lb;
+    if (a.owner != b.owner) return a.owner < b.owner;
+    return a.seq < b.seq;
+  });
+  std::set<PageId> touched;
+  std::size_t bytes = 0;
+  for (const DiffPacket& pkt : pkts) {
+    apply_packet(pkt);
+    touched.insert(pkt.page);
+    bytes += pkt.wire_bytes();
+  }
+  const sim::SimDuration cost = config().diff_apply_fixed * static_cast<std::int64_t>(pkts.size()) +
+                                per_byte(config().diff_apply_ns_per_byte, bytes);
+  if (on_server) {
+    cpu_.service(cost);
+  } else {
+    charge(cost);
+    cpu_.flush();
+  }
+  for (PageId p : touched) {
+    PageState& ps = pages_[p];
+    if (ps.pending.empty() && ps.prot == PageProt::Invalid) {
+      ps.prot = PageProt::ReadOnly;
+      notify_page_valid(p);
+    }
+  }
+}
+
+WantedByOwner NodeRuntime::wanted_for_page(PageId p) const {
+  std::map<NodeId, std::vector<std::uint32_t>> grouped;
+  for (const IntervalRecordPtr& rec : pages_[p].pending) {
+    grouped[rec->owner].push_back(rec->index);
+  }
+  WantedByOwner out;
+  out.reserve(grouped.size());
+  for (auto& [owner, ivs] : grouped) {
+    std::sort(ivs.begin(), ivs.end());
+    out.emplace_back(owner, std::move(ivs));
+  }
+  return out;
+}
+
+void NodeRuntime::record_fault_round(sim::SimTime start, bool counted_as_request) {
+  PhaseCounters& c = stats_.for_phase(cluster_.phase());
+  const sim::SimDuration dt = cluster_.engine().now() - start;
+  c.response_ms.add(dt.millis());
+  c.fault_wait += dt;
+  if (counted_as_request) ++c.diff_requests;
+}
+
+void NodeRuntime::fault_in_page(PageId p) {
+  PageState& ps = pages_[p];
+  REPSEQ_CHECK(ps.prot == PageProt::Invalid, "fault on valid page");
+  REPSEQ_CHECK(!ps.pending.empty(), "invalid page without pending notices");
+
+  PhaseCounters& c = stats_.for_phase(cluster_.phase());
+  ++c.page_faults;
+  charge(config().fault_overhead);
+  cpu_.flush();
+  const sim::SimTime t0 = cluster_.engine().now();
+
+  // Outer loop: in rare interleavings a new write notice arrives while the
+  // fetched diffs are being applied; the page is then still invalid and the
+  // missing diffs are fetched in another pass (all within this one fault).
+  REPSEQ_PAGE_TRACE(p, "read fault begins (pending=%zu)", ps.pending.size());
+  while (ps.prot == PageProt::Invalid) {
+    const WantedByOwner wanted = wanted_for_page(p);
+    const std::uint64_t req_id = next_req_id();
+    auto& slot = expect_replies(req_id);
+
+    std::set<NodeId> outstanding;
+    auto send_requests = [&](const std::set<NodeId>& to) {
+      for (const auto& [owner, ivs] : wanted) {
+        if (!to.contains(owner)) continue;
+        REPSEQ_CHECK(owner != id_, "pending notice from self");
+        send_unicast(MsgKind::DiffRequest, owner, DiffRequestP{req_id, p, ivs},
+                     /*on_server=*/false);
+      }
+    };
+    for (const auto& [owner, _] : wanted) outstanding.insert(owner);
+    send_requests(outstanding);
+
+    std::vector<DiffPacket> collected;
+    int retries = 0;
+    while (!outstanding.empty()) {
+      auto msg = slot.pop_with_timeout(config().request_timeout);
+      if (!msg) {
+        ++retries;
+        ++c.recoveries;
+        REPSEQ_CHECK(retries <= config().max_retries,
+                     "diff request retries exhausted for page " + std::to_string(p));
+        send_requests(outstanding);
+        continue;
+      }
+      const auto& reply = msg->as<DiffReplyP>();
+      if (!outstanding.erase(msg->src)) continue;  // duplicate after retransmit
+      for (const DiffPacket& pkt : reply.packets) collected.push_back(pkt);
+    }
+    drop_reply_slot(req_id);
+    apply_packets_causally(std::move(collected), /*on_server=*/false);
+  }
+  record_fault_round(t0, /*counted_as_request=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Send helpers
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::send_raw_unicast(net::Message msg, bool on_server) {
+  const auto& ncfg = cluster_.network().config();
+  const std::size_t wire = ncfg.wire_bytes(msg.payload_bytes);
+  PhaseCounters& c = stats_.for_phase(cluster_.phase());
+  ++c.msgs_sent;
+  c.bytes_sent += wire;
+  if (is_diff_traffic(kind_of(msg))) {
+    ++c.diff_msgs_sent;
+    c.diff_bytes_sent += wire;
+  }
+  if (on_server) {
+    cpu_.service(ncfg.send_overhead);
+  } else {
+    cpu_.flush();
+    cpu_.compute(ncfg.send_overhead);
+  }
+  cluster_.network().unicast(std::move(msg));
+}
+
+void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
+  const auto& ncfg = cluster_.network().config();
+  const std::size_t wire = ncfg.wire_bytes(msg.payload_bytes);
+  PhaseCounters& c = stats_.for_phase(cluster_.phase());
+  ++c.msgs_sent;
+  c.bytes_sent += wire;
+  if (is_diff_traffic(kind_of(msg))) {
+    ++c.diff_msgs_sent;
+    c.diff_bytes_sent += wire;
+  }
+  if (kind_of(msg) == MsgKind::McastNullAck) ++c.null_acks_sent;
+  if (on_server) {
+    cpu_.service(ncfg.send_overhead);
+  } else {
+    cpu_.flush();
+    cpu_.compute(ncfg.send_overhead);
+  }
+  cluster_.network().multicast(std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Reply routing and page-valid waiting
+// ---------------------------------------------------------------------------
+
+sim::Channel<net::Message>& NodeRuntime::expect_replies(std::uint64_t req_id) {
+  auto [it, inserted] =
+      reply_slots_.emplace(req_id, std::make_unique<sim::Channel<net::Message>>(cluster_.engine()));
+  REPSEQ_CHECK(inserted, "duplicate reply slot");
+  return *it->second;
+}
+
+void NodeRuntime::drop_reply_slot(std::uint64_t req_id) { reply_slots_.erase(req_id); }
+
+void NodeRuntime::notify_page_valid(PageId p) {
+  auto it = page_waiters_.find(p);
+  if (it == page_waiters_.end()) return;
+  for (sim::WaitToken* w : it->second) w->signal();
+  page_waiters_.erase(it);
+}
+
+bool NodeRuntime::wait_page_valid(PageId p, sim::SimDuration timeout) {
+  if (pages_[p].prot != PageProt::Invalid) return true;
+  sim::WaitToken tok(cluster_.engine());
+  page_waiters_[p].push_back(&tok);
+  const bool ok = tok.wait(timeout);
+  if (!ok) {
+    auto it = page_waiters_.find(p);
+    if (it != page_waiters_.end()) {
+      std::erase(it->second, &tok);
+      if (it->second.empty()) page_waiters_.erase(it);
+    }
+  }
+  return pages_[p].prot != PageProt::Invalid;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization: barriers
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::merge_sync_payload(const VectorClock& vc,
+                                     const std::vector<IntervalRecordPtr>& records,
+                                     bool on_server) {
+  for (const IntervalRecordPtr& rec : records) {
+    apply_notice(rec, on_server);
+  }
+  vc_.max_with(vc);
+}
+
+std::vector<IntervalRecordPtr> NodeRuntime::records_unknown_to(const VectorClock& vc) const {
+  return log_.records_after(vc);
+}
+
+void NodeRuntime::barrier(std::uint32_t barrier_id) {
+  end_interval();
+  if (node_count() == 1) return;
+  const std::uint64_t seq =
+      (static_cast<std::uint64_t>(barrier_id) << 32) | barrier_epochs_[barrier_id]++;
+  if (is_master()) {
+    BarrierGroup& g = barriers_[seq];
+    g.master_arrived = true;
+    barrier_complete_if_ready(seq, /*on_server=*/false);
+    auto it = barriers_.find(seq);
+    if (it != barriers_.end()) {
+      sim::WaitToken tok(cluster_.engine());
+      it->second.master_waiter = &tok;
+      tok.wait();
+    }
+  } else {
+    send_unicast(MsgKind::BarrierArrive, 0,
+                 BarrierArriveP{seq, vc_, records_unknown_to(last_master_vc_)},
+                 /*on_server=*/false);
+    net::Message msg = depart_ch_.pop();
+    const auto& d = msg.as<BarrierDepartP>();
+    REPSEQ_CHECK(d.barrier_seq == seq, "barrier sequence mismatch");
+    merge_sync_payload(d.vc, d.records, /*on_server=*/false);
+    last_master_vc_ = d.vc;
+  }
+}
+
+void NodeRuntime::handle_barrier_arrive(const net::Message& msg) {
+  const auto& a = msg.as<BarrierArriveP>();
+  BarrierGroup& g = barriers_[a.barrier_seq];
+  merge_sync_payload(a.vc, a.records, /*on_server=*/true);
+  g.waiter_vcs.emplace_back(msg.src, a.vc);
+  ++g.arrived;
+  barrier_complete_if_ready(a.barrier_seq, /*on_server=*/true);
+}
+
+void NodeRuntime::barrier_complete_if_ready(std::uint64_t barrier_seq, bool on_server) {
+  auto it = barriers_.find(barrier_seq);
+  REPSEQ_CHECK(it != barriers_.end(), "unknown barrier");
+  BarrierGroup& g = it->second;
+  if (!g.master_arrived || g.arrived != node_count() - 1) return;
+
+  // Departures are sent, then the group is destroyed, so a late lookup by a
+  // next-epoch arrival cannot confuse this (already keyed) group.
+  for (const auto& [slave, arrive_vc] : g.waiter_vcs) {
+    send_unicast(MsgKind::BarrierDepart, slave,
+                 BarrierDepartP{barrier_seq, vc_, records_unknown_to(arrive_vc)}, on_server);
+    slave_known_vc_[slave] = vc_;
+  }
+  sim::WaitToken* waiter = g.master_waiter;
+  barriers_.erase(it);
+  if (waiter != nullptr) waiter->signal();
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization: locks
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::lock_acquire(std::uint32_t lock_id) {
+  end_interval();
+  const NodeId manager = static_cast<NodeId>(lock_id % node_count());
+  const std::uint64_t req_id = next_req_id();
+  LockAcquireP payload{req_id, lock_id, vc_};
+  if (manager == id_) {
+    manager_acquire(id_, std::move(payload), /*on_server=*/false);
+  } else {
+    send_unicast(MsgKind::LockAcquire, manager, std::move(payload), /*on_server=*/false);
+  }
+  net::Message msg = grant_ch_.pop();
+  const auto& g = msg.as<LockGrantP>();
+  REPSEQ_CHECK(g.lock == lock_id, "lock grant mismatch");
+  merge_sync_payload(g.vc, g.records, /*on_server=*/false);
+}
+
+void NodeRuntime::lock_release(std::uint32_t lock_id) {
+  end_interval();
+  const NodeId manager = static_cast<NodeId>(lock_id % node_count());
+  if (manager == id_) {
+    manager_release(id_, lock_id, /*on_server=*/false);
+  } else {
+    send_unicast(MsgKind::LockRelease, manager, LockReleaseP{lock_id}, /*on_server=*/false);
+  }
+}
+
+void NodeRuntime::manager_acquire(NodeId acquirer, LockAcquireP p, bool on_server) {
+  LockManagerState& st = managed_locks_[p.lock];
+  if (st.held || !st.waiting.empty()) {
+    st.waiting.emplace_back(acquirer, std::move(p));
+    return;
+  }
+  st.held = true;
+  const NodeId releaser = st.last_releaser.value_or(id_);
+  if (releaser == acquirer || !st.last_releaser.has_value()) {
+    // No release chain to pull notices from: the manager itself answers
+    // with everything the acquirer lacks (conservative but consistent).
+    releaser_grant(acquirer, p.req_id, p.lock, p.vc, on_server);
+  } else if (releaser == id_) {
+    releaser_grant(acquirer, p.req_id, p.lock, p.vc, on_server);
+  } else {
+    send_unicast(MsgKind::LockForward, releaser, LockForwardP{p.req_id, p.lock, acquirer, p.vc},
+                 on_server);
+  }
+}
+
+void NodeRuntime::manager_release(NodeId releaser, std::uint32_t lock, bool on_server) {
+  LockManagerState& st = managed_locks_[lock];
+  st.held = false;
+  st.last_releaser = releaser;
+  if (!st.waiting.empty()) {
+    auto [next, payload] = std::move(st.waiting.front());
+    st.waiting.pop_front();
+    st.held = true;
+    if (releaser == id_) {
+      releaser_grant(next, payload.req_id, payload.lock, payload.vc, on_server);
+    } else {
+      send_unicast(MsgKind::LockForward, releaser,
+                   LockForwardP{payload.req_id, payload.lock, next, payload.vc}, on_server);
+    }
+  }
+}
+
+void NodeRuntime::releaser_grant(NodeId acquirer, std::uint64_t req_id, std::uint32_t lock,
+                                 const VectorClock& acq_vc, bool on_server) {
+  LockGrantP grant{req_id, lock, vc_, records_unknown_to(acq_vc)};
+  if (acquirer == id_) {
+    grant_ch_.push(make_message(MsgKind::LockGrant, id_, id_, std::move(grant)));
+  } else {
+    send_unicast(MsgKind::LockGrant, acquirer, std::move(grant), on_server);
+  }
+}
+
+void NodeRuntime::receive_grant(net::Message msg) { grant_ch_.push(std::move(msg)); }
+
+// ---------------------------------------------------------------------------
+// Fork / join
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::fork(std::uint64_t work_id, Phase phase) {
+  REPSEQ_CHECK(is_master(), "fork from non-master");
+  end_interval();
+  cluster_.set_phase(phase);
+  for (NodeId s = 1; s < node_count(); ++s) {
+    send_unicast(MsgKind::Fork, s, ForkP{work_id, vc_, records_unknown_to(slave_known_vc_[s])},
+                 /*on_server=*/false);
+    slave_known_vc_[s] = vc_;
+  }
+}
+
+void NodeRuntime::join_master() {
+  REPSEQ_CHECK(is_master(), "join_master from non-master");
+  end_interval();
+  for (std::size_t i = 1; i < node_count(); ++i) {
+    net::Message msg = join_ch_.pop();
+    const auto& j = msg.as<JoinP>();
+    merge_sync_payload(j.vc, j.records, /*on_server=*/false);
+    slave_known_vc_[msg.src].max_with(j.vc);
+  }
+  cluster_.set_phase(Phase::Sequential);
+}
+
+void NodeRuntime::slave_loop() {
+  for (;;) {
+    net::Message msg = fork_ch_.pop();  // parks forever once the program ends
+    const auto& f = msg.as<ForkP>();
+    merge_sync_payload(f.vc, f.records, /*on_server=*/false);
+    last_master_vc_ = f.vc;
+    cluster_.work(f.work_id)(*this);
+    end_interval();
+    send_unicast(MsgKind::Join, 0, JoinP{vc_, records_unknown_to(last_master_vc_)},
+                 /*on_server=*/false);
+    last_master_vc_.max_with(vc_);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher (request server)
+// ---------------------------------------------------------------------------
+
+void NodeRuntime::dispatcher_loop() {
+  auto& inbox = cluster_.network().nic(id_).inbox();
+  const auto& ncfg = cluster_.network().config();
+  for (;;) {
+    net::Message msg = inbox.pop();
+    cpu_.service(ncfg.recv_overhead);
+    handle_message(msg);
+  }
+}
+
+void NodeRuntime::handle_message(const net::Message& msg) {
+  if (rse_hooks() != nullptr && rse_hooks()->on_message(*this, msg)) return;
+  switch (kind_of(msg)) {
+    case MsgKind::DiffRequest:
+      handle_diff_request(msg);
+      break;
+    case MsgKind::DiffReply: {
+      auto it = reply_slots_.find(msg.as<DiffReplyP>().req_id);
+      if (it != reply_slots_.end()) it->second->push(msg);
+      break;  // stale replies after retransmission are dropped
+    }
+    case MsgKind::LockAcquire: {
+      manager_acquire(msg.src, msg.as<LockAcquireP>(), /*on_server=*/true);
+      break;
+    }
+    case MsgKind::LockForward: {
+      const auto& f = msg.as<LockForwardP>();
+      releaser_grant(f.acquirer, f.req_id, f.lock, f.vc, /*on_server=*/true);
+      break;
+    }
+    case MsgKind::LockRelease:
+      manager_release(msg.src, msg.as<LockReleaseP>().lock, /*on_server=*/true);
+      break;
+    case MsgKind::LockGrant:
+      receive_grant(msg);
+      break;
+    case MsgKind::BarrierArrive:
+      handle_barrier_arrive(msg);
+      break;
+    case MsgKind::BarrierDepart:
+      depart_ch_.push(msg);
+      break;
+    case MsgKind::Fork:
+      fork_ch_.push(msg);
+      break;
+    case MsgKind::Join:
+      join_ch_.push(msg);
+      break;
+    case MsgKind::BcastUpdate: {
+      // Push-style section broadcast (Sections 4.2 / 6.1.2 alternatives):
+      // log+invalidate the notices, then apply their diffs immediately.
+      const auto& u = msg.as<BcastUpdateP>();
+      for (const IntervalRecordPtr& rec : u.records) apply_notice(rec, /*on_server=*/true);
+      apply_packets_causally(u.packets, /*on_server=*/true);
+      send_unicast(MsgKind::BcastAck, msg.src, BcastAckP{u.req_id}, /*on_server=*/true);
+      break;
+    }
+    case MsgKind::BcastAck: {
+      auto it = reply_slots_.find(msg.as<BcastAckP>().req_id);
+      if (it != reply_slots_.end()) it->second->push(msg);
+      break;
+    }
+    default:
+      REPSEQ_CHECK(false, "unhandled message kind " + std::to_string(msg.kind));
+  }
+}
+
+void NodeRuntime::handle_diff_request(const net::Message& msg) {
+  const auto& r = msg.as<DiffRequestP>();
+  std::vector<DiffPacket> packets = collect_diffs(r.page, r.intervals, /*on_server=*/true);
+  send_unicast(MsgKind::DiffReply, msg.src, DiffReplyP{r.req_id, r.page, std::move(packets)},
+               /*on_server=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster
+// ---------------------------------------------------------------------------
+
+Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
+    : cfg_(cfg), node_count_(nodes), heap_(cfg.heap_bytes) {
+  REPSEQ_CHECK(nodes >= 1, "cluster needs at least one node");
+  REPSEQ_CHECK(cfg_.heap_bytes % cfg_.page_bytes == 0, "heap must be whole pages");
+  network_ = std::make_unique<net::Network>(engine_, net_cfg, nodes);
+  // Loss injection exercises the diff-request recovery paths; the
+  // synchronization messages (fork/join/barrier/lock) are modeled as
+  // reliable transport (TreadMarks retries them below the protocol layer).
+  network_->set_loss_filter([](const net::Message& m) { return is_diff_traffic(kind_of(m)); });
+  nodes_.reserve(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    nodes_.push_back(std::make_unique<NodeRuntime>(*this, n));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::uint64_t Cluster::register_work(std::function<void(NodeRuntime&)> fn) {
+  work_table_.push_back(std::move(fn));
+  return work_table_.size() - 1;
+}
+
+const std::function<void(NodeRuntime&)>& Cluster::work(std::uint64_t id) const {
+  REPSEQ_CHECK(id < work_table_.size(), "unknown work id");
+  return work_table_[id];
+}
+
+NodeRuntime& Cluster::current() {
+  sim::Fiber* f = sim::Fiber::current();
+  REPSEQ_CHECK(f != nullptr && f->user_data() != nullptr,
+               "Cluster::current() outside a node fiber");
+  return *static_cast<NodeRuntime*>(f->user_data());
+}
+
+sim::SimDuration Cluster::run(std::function<void(NodeRuntime&)> master_program) {
+  REPSEQ_CHECK(!ran_, "Cluster::run may only be called once");
+  ran_ = true;
+  const sim::SimTime start = engine_.now();
+  for (auto& node : nodes_) {
+    NodeRuntime* rt = node.get();
+    sim::FiberRef f = engine_.spawn("dispatch-" + std::to_string(rt->id()),
+                                    [rt] { rt->dispatcher_loop(); });
+    f->set_user_data(rt);
+  }
+  for (std::size_t n = 1; n < nodes_.size(); ++n) {
+    NodeRuntime* rt = nodes_[n].get();
+    sim::FiberRef f =
+        engine_.spawn("slave-" + std::to_string(n), [rt] { rt->slave_loop(); });
+    f->set_user_data(rt);
+  }
+  NodeRuntime* master = nodes_[0].get();
+  sim::FiberRef f = engine_.spawn(
+      "master", [master, program = std::move(master_program)] { program(*master); });
+  f->set_user_data(master);
+  engine_.run();
+  return engine_.now() - start;
+}
+
+PhaseCounters Cluster::total(Phase p) const {
+  PhaseCounters out;
+  for (const auto& node : nodes_) {
+    out.merge(node->stats().for_phase(p));
+  }
+  return out;
+}
+
+}  // namespace repseq::tmk

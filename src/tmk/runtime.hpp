@@ -1,0 +1,323 @@
+// The per-node DSM runtime and the cluster that wires nodes together.
+//
+// NodeRuntime implements TreadMarks' multiple-writer, lazy-invalidate
+// release consistency protocol (paper Sections 2.2 and 5.1):
+//   * explicit read/write barriers stand in for VM page protection,
+//   * intervals close at synchronization operations and publish write
+//     notices, which invalidate remote copies lazily,
+//   * diffs are created lazily at first request (or when a remote notice
+//     invalidates a locally dirty page) and applied in causal order,
+//   * locks, barriers and fork/join carry consistency information.
+//
+// A request-server (dispatcher) fiber per node services incoming messages,
+// preempting application compute through the sim::Cpu interrupt model --
+// FIFO servicing of queued requests is precisely the paper's contention
+// mechanism (Section 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/channel.hpp"
+#include "sim/cpu.hpp"
+#include "sim/engine.hpp"
+#include "tmk/config.hpp"
+#include "tmk/gaddr.hpp"
+#include "tmk/interval.hpp"
+#include "tmk/page.hpp"
+#include "tmk/protocol.hpp"
+#include "tmk/shared_heap.hpp"
+#include "tmk/stats.hpp"
+#include "tmk/vector_clock.hpp"
+
+namespace repseq::tmk {
+
+class Cluster;
+class NodeRuntime;
+
+/// Hook interface for the replicated-sequential-execution engine
+/// (implemented in src/rse).  While a node is inside a replicated
+/// sequential section, page faults and the multicast message kinds are
+/// delegated here instead of to the base protocol.
+class RseHooks {
+ public:
+  virtual ~RseHooks() = default;
+  /// Handles a fault on `page` during replicated execution (app fiber).
+  virtual void on_fault(NodeRuntime& node, PageId page) = 0;
+  /// Handles an RSE protocol message (dispatcher fiber).  Returns true when
+  /// the message was consumed.
+  virtual bool on_message(NodeRuntime& node, const net::Message& msg) = 0;
+};
+
+class NodeRuntime {
+ public:
+  NodeRuntime(Cluster& cluster, NodeId id);
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool is_master() const { return id_ == 0; }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] sim::Cpu& cpu() { return cpu_; }
+  [[nodiscard]] NodeStats& stats() { return stats_; }
+  [[nodiscard]] const TmkConfig& config() const;
+  [[nodiscard]] std::size_t node_count() const;
+
+  // ---- instrumented access layer (called by ShArray & friends) ----
+
+  /// Ensures [addr, addr+bytes) is readable; faults in missing diffs.
+  void read_barrier(GAddr addr, std::size_t bytes);
+  /// Ensures writability; creates twins / records dirtiness as needed.
+  void write_barrier(GAddr addr, std::size_t bytes);
+  /// Raw pointer into this node's local backing for a shared address.
+  template <typename T>
+  [[nodiscard]] T* local(GAddr addr) {
+    return reinterpret_cast<T*>(mem_.data() + addr.off);
+  }
+  [[nodiscard]] std::span<std::byte> page_span(PageId p);
+  [[nodiscard]] std::span<const std::byte> page_span(PageId p) const;
+
+  /// Charges application compute (forwarded to the CPU model).
+  void charge(sim::SimDuration d) { cpu_.accrue(d); }
+
+  // ---- synchronization API (TreadMarks primitives) ----
+
+  void barrier(std::uint32_t barrier_id);
+  void lock_acquire(std::uint32_t lock_id);
+  void lock_release(std::uint32_t lock_id);
+
+  /// Master: fork a parallel region; slaves run `work_id` via the cluster's
+  /// registered work table.  `phase` tags statistics while the region runs
+  /// (replicated *sequential* sections are forked too, but their traffic
+  /// belongs to the sequential-section accounting of Tables 2 and 4).
+  void fork(std::uint64_t work_id, Phase phase = Phase::Parallel);
+  /// Master: wait for all slaves' join messages.
+  void join_master();
+  /// Slave main loop: waits for forks, runs work, sends joins.
+  void slave_loop();
+
+  // ---- protocol internals (exposed for the RSE engine and tests) ----
+
+  [[nodiscard]] VectorClock& vc() { return vc_; }
+  [[nodiscard]] IntervalLog& log() { return log_; }
+  [[nodiscard]] PageState& page(PageId p) { return pages_[p]; }
+  [[nodiscard]] std::size_t page_count() const { return pages_.size(); }
+
+  /// All interval records (own and remote) known to mention `p`, in no
+  /// particular order.  The RSE requester election uses this as the
+  /// universe of write notices for a page (logs are identical cluster-wide
+  /// after the barrier that precedes a replicated section).
+  [[nodiscard]] const std::vector<IntervalRecordPtr>& page_notices(PageId p) const {
+    static const std::vector<IntervalRecordPtr> kEmpty;
+    auto it = page_notice_index_.find(p);
+    return it == page_notice_index_.end() ? kEmpty : it->second;
+  }
+
+  /// Closes the current interval if dirty (publishes write notices locally;
+  /// they travel with the next synchronization message).
+  void end_interval();
+
+  /// Logs a remote interval record and invalidates its pages.
+  void apply_notice(const IntervalRecordPtr& rec, bool on_server);
+
+  /// Creates and registers the diff for a page's twin (lazy diff creation).
+  /// `on_server` selects whether the cost lands on service or compute time.
+  void flush_diff(PageId p, bool on_server);
+
+  /// Serves a diff request: collects (creating when needed) diffs covering
+  /// `intervals` of this node for `page`.
+  std::vector<DiffPacket> collect_diffs(PageId page, const std::vector<std::uint32_t>& intervals,
+                                        bool on_server);
+
+  /// Applies one diff packet; updates validity, clears satisfied pending
+  /// notices.
+  void apply_packet(const DiffPacket& pkt);
+
+  /// Sorts packets causally (Lamport projection of the newest covered
+  /// interval) and applies them all, charging apply costs.
+  void apply_packets_causally(std::vector<DiffPacket> pkts, bool on_server);
+
+  /// The base-protocol fault path: request diffs from the last writers.
+  void fault_in_page(PageId p);
+
+  /// Groups a page's pending notices by owner (ascending intervals).
+  [[nodiscard]] WantedByOwner wanted_for_page(PageId p) const;
+
+  /// Send helpers: charge CPU overhead and tag per-phase statistics.
+  void send_raw_unicast(net::Message msg, bool on_server);
+  void send_raw_multicast(net::Message msg, bool on_server);
+
+  template <typename P>
+  void send_unicast(MsgKind kind, NodeId dst, P payload, bool on_server) {
+    send_raw_unicast(make_message(kind, id_, dst, std::move(payload)), on_server);
+  }
+  template <typename P>
+  void send_multicast(MsgKind kind, P payload, bool on_server) {
+    send_raw_multicast(make_message(kind, id_, net::kMulticastDst, std::move(payload)),
+                       on_server);
+  }
+
+  /// RSE integration.
+  [[nodiscard]] RseHooks* rse_hooks() const;
+  [[nodiscard]] bool in_replicated_section() const { return in_replicated_section_; }
+  void set_in_replicated_section(bool v) { in_replicated_section_ = v; }
+
+  /// A fresh correlation id for request/reply matching.
+  std::uint64_t next_req_id() { return next_req_id_++; }
+
+  /// Registers interest in replies carrying `req_id`.
+  sim::Channel<net::Message>& expect_replies(std::uint64_t req_id);
+  void drop_reply_slot(std::uint64_t req_id);
+
+  /// Wakes fibers blocked on `page` becoming valid (RSE wait path).
+  void notify_page_valid(PageId p);
+  /// Blocks until `page` is valid; returns false on timeout.
+  bool wait_page_valid(PageId p, sim::SimDuration timeout);
+
+  /// Record a completed fault round in this node's phase stats.
+  void record_fault_round(sim::SimTime start, bool counted_as_request);
+
+  /// Master-side bookkeeping of what each slave is known to know (used by
+  /// fork to avoid resending records; updated by the broadcast ablation).
+  [[nodiscard]] const VectorClock& slave_knowledge(NodeId s) const {
+    return slave_known_vc_[s];
+  }
+  void note_slave_knowledge(NodeId s, const VectorClock& vc) {
+    slave_known_vc_[s].max_with(vc);
+  }
+
+  /// The dispatcher fiber body (spawned by Cluster).
+  void dispatcher_loop();
+
+ private:
+  friend class Cluster;
+
+  // message handlers (dispatcher fiber)
+  void handle_message(const net::Message& msg);
+  void handle_diff_request(const net::Message& msg);
+  void handle_barrier_arrive(const net::Message& msg);
+
+  void merge_sync_payload(const VectorClock& vc, const std::vector<IntervalRecordPtr>& records,
+                          bool on_server);
+  [[nodiscard]] std::vector<IntervalRecordPtr> records_unknown_to(const VectorClock& vc) const;
+
+  // barrier bookkeeping (master side)
+  struct BarrierGroup {
+    std::uint32_t arrived = 0;
+    std::vector<std::pair<NodeId, VectorClock>> waiter_vcs;
+    bool master_arrived = false;
+    sim::WaitToken* master_waiter = nullptr;
+  };
+  void barrier_complete_if_ready(std::uint64_t barrier_seq, bool on_server);
+
+  // lock management (runs on the managing node)
+  struct LockManagerState {
+    bool held = false;
+    std::optional<NodeId> last_releaser;
+    std::deque<std::pair<NodeId, LockAcquireP>> waiting;
+  };
+  void manager_acquire(NodeId acquirer, LockAcquireP p, bool on_server);
+  void manager_release(NodeId releaser, std::uint32_t lock, bool on_server);
+  void releaser_grant(NodeId acquirer, std::uint64_t req_id, std::uint32_t lock,
+                      const VectorClock& acq_vc, bool on_server);
+  void receive_grant(net::Message msg);
+
+  Cluster& cluster_;
+  NodeId id_;
+  sim::Cpu cpu_;
+  std::vector<std::byte> mem_;
+  std::vector<PageState> pages_;
+  VectorClock vc_;
+  IntervalLog log_;
+  std::vector<PageId> current_dirty_;
+  /// A diff frozen at flush time together with its full registration.
+  struct RegisteredDiff {
+    std::uint64_t seq;
+    std::vector<std::uint32_t> covers;  // every interval this diff backs
+    DiffPtr diff;
+  };
+  using RegisteredDiffPtr = std::shared_ptr<const RegisteredDiff>;
+  /// Own diffs per (page, interval); the same registration may appear under
+  /// several intervals (merged lazy diffs).
+  std::map<std::pair<PageId, std::uint32_t>, std::vector<RegisteredDiffPtr>> own_diffs_;
+  std::uint64_t next_diff_seq_ = 1;
+  std::map<PageId, std::vector<IntervalRecordPtr>> page_notice_index_;
+
+  NodeStats stats_;
+  std::uint64_t next_req_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<sim::Channel<net::Message>>> reply_slots_;
+  std::map<PageId, std::vector<sim::WaitToken*>> page_waiters_;
+
+  // synchronization state
+  std::map<std::uint64_t, BarrierGroup> barriers_;   // master only, keyed by seq
+  std::map<std::uint32_t, std::uint32_t> barrier_epochs_;  // per-node id -> uses
+  std::map<std::uint32_t, LockManagerState> managed_locks_;
+  sim::Channel<net::Message> fork_ch_;
+  sim::Channel<net::Message> depart_ch_;
+  sim::Channel<net::Message> join_ch_;  // master only
+  sim::Channel<net::Message> grant_ch_;
+  VectorClock last_master_vc_;
+  std::vector<VectorClock> slave_known_vc_;  // master only
+
+  bool in_replicated_section_ = false;
+};
+
+/// The whole simulated cluster: engine, network, one runtime per node, the
+/// shared heap, the registered parallel work table and the phase flag.
+class Cluster {
+ public:
+  Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes);
+  ~Cluster();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] NodeRuntime& node(NodeId n) { return *nodes_[n]; }
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] const TmkConfig& config() const { return cfg_; }
+  [[nodiscard]] SharedHeap& heap() { return heap_; }
+
+  [[nodiscard]] Phase phase() const { return phase_; }
+  void set_phase(Phase p) { phase_ = p; }
+
+  /// Registers a parallel work function; returns its work id (standing in
+  /// for the translator-generated subroutine pointer in the fork message).
+  std::uint64_t register_work(std::function<void(NodeRuntime&)> fn);
+  [[nodiscard]] const std::function<void(NodeRuntime&)>& work(std::uint64_t id) const;
+
+  /// Runs `master_program` as node 0's application, with slaves in their
+  /// fork-wait loops, until completion.  Returns total virtual time.
+  sim::SimDuration run(std::function<void(NodeRuntime&)> master_program);
+
+  /// Aggregate statistics over all nodes.
+  [[nodiscard]] PhaseCounters total(Phase p) const;
+
+  /// The RSE engine attachment point (one controller per cluster).
+  void set_rse_hooks(RseHooks* hooks) { rse_hooks_ = hooks; }
+  [[nodiscard]] RseHooks* rse_hooks() const { return rse_hooks_; }
+
+  /// The runtime owning the calling fiber (application or dispatcher).
+  static NodeRuntime& current();
+
+ private:
+  TmkConfig cfg_;
+  std::size_t node_count_ = 0;
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> network_;
+  SharedHeap heap_;
+  std::vector<std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<std::function<void(NodeRuntime&)>> work_table_;
+  Phase phase_ = Phase::Sequential;
+  RseHooks* rse_hooks_ = nullptr;
+  bool ran_ = false;
+};
+
+}  // namespace repseq::tmk

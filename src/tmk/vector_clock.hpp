@@ -1,0 +1,63 @@
+// Vector timestamps over node (thread) ids.  Entry t of node p's clock is
+// the most recent interval of thread t that precedes p's current interval in
+// the happens-before partial order (paper Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repseq::tmk {
+
+using NodeId = std::uint32_t;
+
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(std::size_t nodes) : v_(nodes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+
+  [[nodiscard]] std::uint32_t at(NodeId n) const { return v_[n]; }
+  void set(NodeId n, std::uint32_t val) { v_[n] = val; }
+  void bump(NodeId n) { ++v_[n]; }
+
+  /// True when this clock already covers interval `index` of `owner`
+  /// (i.e. that interval happens-before or equals our knowledge).
+  [[nodiscard]] bool covers(NodeId owner, std::uint32_t index) const {
+    return v_[owner] >= index;
+  }
+
+  /// Pairwise maximum (performed by the acquirer after a release message).
+  void max_with(const VectorClock& o) {
+    REPSEQ_CHECK(o.size() == size(), "vector clock size mismatch");
+    for (std::size_t i = 0; i < v_.size(); ++i) v_[i] = std::max(v_[i], o.v_[i]);
+  }
+
+  /// Pointwise <=.
+  [[nodiscard]] bool dominated_by(const VectorClock& o) const {
+    REPSEQ_CHECK(o.size() == size(), "vector clock size mismatch");
+    for (std::size_t i = 0; i < v_.size(); ++i) {
+      if (v_[i] > o.v_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Scalar Lamport projection: strictly increases along happens-before,
+  /// usable to totally order interval records consistently with causality.
+  [[nodiscard]] std::uint64_t lamport_sum() const {
+    return std::accumulate(v_.begin(), v_.end(), std::uint64_t{0});
+  }
+
+  [[nodiscard]] bool operator==(const VectorClock& o) const = default;
+
+  /// Serialized size on the wire (4 bytes per entry).
+  [[nodiscard]] std::size_t wire_bytes() const { return 4 * v_.size(); }
+
+ private:
+  std::vector<std::uint32_t> v_;
+};
+
+}  // namespace repseq::tmk

@@ -1,0 +1,15 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace repseq::util {
+
+void check_failed(const char* expr, const std::string& msg, std::source_location loc) {
+  std::fprintf(stderr, "REPSEQ_CHECK failed: %s\n  at %s:%u in %s\n  %s\n", expr,
+               loc.file_name(), loc.line(), loc.function_name(), msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace repseq::util

@@ -1,0 +1,29 @@
+// Runtime invariant checking for the simulator and protocol layers.
+//
+// The DSM protocol has many internal invariants (interval ordering, diff
+// coverage, flow-control sequencing) whose violation indicates a bug, not a
+// recoverable condition.  `REPSEQ_CHECK` stays on in all build types: the
+// simulator is the instrument of the reproduction, and a silently-corrupt
+// protocol would invalidate every measured number downstream.
+#pragma once
+
+#include <source_location>
+#include <string>
+
+namespace repseq::util {
+
+/// Prints a diagnostic with source location and aborts.  Used by the CHECK
+/// macro below; may be called directly for unreachable branches.
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc = std::source_location::current());
+
+}  // namespace repseq::util
+
+/// Always-on invariant check.  `msg` is any expression streamable into a
+/// std::string via concatenation (kept simple: a std::string).
+#define REPSEQ_CHECK(expr, msg)                                    \
+  do {                                                             \
+    if (!(expr)) [[unlikely]] {                                    \
+      ::repseq::util::check_failed(#expr, (msg));                  \
+    }                                                              \
+  } while (false)

@@ -1,0 +1,93 @@
+#include "util/table.hpp"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repseq::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  REPSEQ_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  REPSEQ_CHECK(cells.size() <= headers_.size(), "row wider than header");
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& r : rows_) {
+    if (r.rule) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  std::ostringstream out;
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      out << '+' << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  auto emit_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      out << "| ";
+      if (c == 0) {  // label column: left aligned
+        out << s << std::string(widths[c] - s.size(), ' ');
+      } else {  // value columns: right aligned
+        out << std::string(widths[c] - s.size(), ' ') << s;
+      }
+      out << ' ';
+    }
+    out << "|\n";
+  };
+
+  emit_rule();
+  emit_cells(headers_);
+  emit_rule();
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      emit_rule();
+    } else {
+      emit_cells(r.cells);
+    }
+  }
+  emit_rule();
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string fmt_pct_change(double base, double improved) {
+  if (base == 0.0) return "n/a";
+  const double pct = (improved - base) / base * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.0f%%", pct);
+  return buf;
+}
+
+}  // namespace repseq::util

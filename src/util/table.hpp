@@ -1,0 +1,39 @@
+// Plain-text table renderer used by the benchmark harness to print each of
+// the paper's tables in a `paper value | measured value` layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repseq::util {
+
+/// A right-aligned column table with a left-aligned label column, rendered
+/// with ASCII rules.  Cells are free-form strings; numeric formatting is the
+/// caller's concern (helpers below).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// A horizontal separator line between row groups.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+/// Formats with `digits` decimal places.
+std::string fmt_fixed(double v, int digits);
+/// Formats an integral count with thousands separators: 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t v);
+/// Formats a ratio as "NxM%" style percentage change string, e.g. "+51%".
+std::string fmt_pct_change(double base, double improved);
+
+}  // namespace repseq::util

@@ -1,0 +1,162 @@
+// Tests for the OpenMP/NOW layer: schedules, the `if` clause, sequential
+// dispatch modes, and the section time accounting the paper's tables use.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ompnow/team.hpp"
+#include "rse/controller.hpp"
+#include "tmk/access.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::ompnow {
+namespace {
+
+struct Fx {
+  tmk::TmkConfig cfg;
+  std::unique_ptr<tmk::Cluster> cl;
+  std::unique_ptr<rse::RseController> rse;
+  std::unique_ptr<Team> team;
+
+  explicit Fx(std::size_t nodes, SeqMode mode = SeqMode::MasterOnly) {
+    cfg.heap_bytes = 1u << 20;
+    cl = std::make_unique<tmk::Cluster>(cfg, net::NetConfig{}, nodes);
+    rse = std::make_unique<rse::RseController>(*cl, rse::FlowControl::Chained);
+    team = std::make_unique<Team>(*cl, mode, rse.get());
+  }
+};
+
+TEST(Schedules, CyclicAssignsEveryIndexExactlyOnce) {
+  Fx fx(4);
+  auto hits = tmk::ShArray<int>::alloc(*fx.cl, 101);
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel_for(0, 101, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+      hits.store(static_cast<std::size_t>(i), hits.load(static_cast<std::size_t>(i)) + 1);
+    });
+    for (std::size_t i = 0; i < 101; ++i) EXPECT_EQ(hits.load(i), 1) << i;
+  });
+}
+
+TEST(Schedules, BlockAssignsEveryIndexExactlyOnce) {
+  Fx fx(3);
+  auto hits = tmk::ShArray<int>::alloc(*fx.cl, 100);
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel_for(0, 100, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      hits.store(static_cast<std::size_t>(i), hits.load(static_cast<std::size_t>(i)) + 1);
+    });
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(hits.load(i), 1) << i;
+  });
+}
+
+TEST(Schedules, BlockRangeDegenerateCases) {
+  // More threads than iterations: trailing threads get empty ranges.
+  long covered = 0;
+  for (int t = 0; t < 8; ++t) {
+    const Range r = block_range(0, 3, t, 8);
+    covered += r.hi - r.lo;
+  }
+  EXPECT_EQ(covered, 3);
+  // Empty loop.
+  const Range r = block_range(5, 5, 0, 4);
+  EXPECT_EQ(r.lo, r.hi);
+}
+
+TEST(Team, RegionCountersTrackInvocations) {
+  Fx fx(2);
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel([](const Ctx&) {});
+    fx.team->parallel([](const Ctx&) {});
+    fx.team->sequential([](const Ctx&) {});
+  });
+  EXPECT_EQ(fx.team->parallel_regions(), 2u);
+  EXPECT_EQ(fx.team->sequential_sections(), 1u);
+}
+
+TEST(Team, SectionTimesAccumulate) {
+  Fx fx(2);
+  fx.cl->run([&](tmk::NodeRuntime& rt) {
+    fx.team->sequential([&](const Ctx&) { rt.cpu().compute(sim::milliseconds(3)); });
+    fx.team->parallel([](const Ctx& ctx) { ctx.rt.cpu().compute(sim::milliseconds(5)); });
+  });
+  EXPECT_GE(fx.team->sequential_time().millis(), 3.0);
+  EXPECT_GE(fx.team->parallel_time().millis(), 5.0);
+  // Sections don't bleed into each other.
+  EXPECT_LT(fx.team->sequential_time().millis(), 5.0);
+}
+
+TEST(Team, MasterOnlySequentialRunsOnlyOnMaster) {
+  Fx fx(4, SeqMode::MasterOnly);
+  std::set<int> ran_on;
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->sequential([&](const Ctx& ctx) { ran_on.insert(ctx.tid); });
+  });
+  EXPECT_EQ(ran_on, (std::set<int>{0}));
+}
+
+TEST(Team, ReplicatedSequentialRunsEverywhere) {
+  Fx fx(4, SeqMode::Replicated);
+  std::set<int> ran_on;
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->sequential([&](const Ctx& ctx) { ran_on.insert(ctx.tid); });
+  });
+  EXPECT_EQ(ran_on, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(Team, ReplicatedSectionTrafficCountsAsSequentialPhase) {
+  Fx fx(4, SeqMode::Replicated);
+  auto data = tmk::ShArray<int>::alloc(*fx.cl, 2048);
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel_for(0, 2048, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      data.store(static_cast<std::size_t>(i), 1);
+    });
+    fx.team->sequential([&](const Ctx&) {
+      long s = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) s += data.load(i);
+      EXPECT_EQ(s, 2048);
+    });
+  });
+  // The replicated section's multicast fetches are sequential-phase traffic.
+  const tmk::PhaseCounters seq = fx.cl->total(tmk::Phase::Sequential);
+  EXPECT_GT(seq.diff_msgs_sent, 0u);
+}
+
+TEST(Team, IfClauseFalseOnMultiNodeRunsInline) {
+  Fx fx(4);
+  int executions = 0;
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel_for(0, 10, Schedule::StaticCyclic,
+                          [&](const Ctx& ctx, long) {
+                            EXPECT_EQ(ctx.tid, 0);
+                            EXPECT_EQ(ctx.nthreads, 1);
+                            ++executions;
+                          },
+                          /*if_parallel=*/false);
+  });
+  EXPECT_EQ(executions, 10);
+  EXPECT_EQ(fx.team->parallel_regions(), 0u);
+}
+
+TEST(Team, SingleNodeParallelForCountsAsParallelTime) {
+  Fx fx(1);
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->parallel_for(0, 4, Schedule::StaticBlock, [&](const Ctx& ctx, long) {
+      ctx.rt.cpu().compute(sim::milliseconds(1));
+    });
+  });
+  EXPECT_GE(fx.team->parallel_time().millis(), 4.0);
+  EXPECT_EQ(fx.team->parallel_regions(), 1u);
+}
+
+TEST(Ctx, MasterOnlyGuardsSideEffects) {
+  Fx fx(3, SeqMode::Replicated);
+  int side_effects = 0;
+  fx.cl->run([&](tmk::NodeRuntime&) {
+    fx.team->sequential([&](const Ctx& ctx) {
+      ctx.master_only([&] { ++side_effects; });
+    });
+  });
+  EXPECT_EQ(side_effects, 1);
+}
+
+}  // namespace
+}  // namespace repseq::ompnow

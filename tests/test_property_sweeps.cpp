@@ -1,0 +1,219 @@
+// Cross-configuration property sweeps: the consistency protocol must
+// deliver identical application results for every page size, node count and
+// schedule combination; structured (ShObj) accesses and elements spanning
+// page boundaries must behave like plain ones.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ompnow/team.hpp"
+#include "rse/controller.hpp"
+#include "tmk/access.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::tmk {
+namespace {
+
+using ompnow::Ctx;
+using ompnow::Schedule;
+using ompnow::SeqMode;
+
+// ---------------------------------------------------------------------------
+// Page size x node count sweep
+// ---------------------------------------------------------------------------
+
+class PageNodeSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t /*page*/, std::size_t /*nodes*/>> {
+};
+
+TEST_P(PageNodeSweep, StencilWorkloadConvergesIdentically) {
+  const auto [page_bytes, nodes] = GetParam();
+  TmkConfig cfg;
+  cfg.page_bytes = page_bytes;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, net::NetConfig{}, nodes);
+  rse::RseController rse(cl, rse::FlowControl::Chained);
+  ompnow::Team team(cl, SeqMode::MasterOnly, &rse);
+
+  constexpr std::size_t kElems = 1024;
+  auto a = ShArray<long>::alloc(cl, kElems, /*page_aligned=*/true);
+  auto b = ShArray<long>::alloc(cl, kElems, /*page_aligned=*/true);
+
+  long checksum = -1;
+  cl.run([&](NodeRuntime&) {
+    team.parallel_for(0, kElems, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      a.store(static_cast<std::size_t>(i), i);
+    });
+    // Two Jacobi-style sweeps with neighbor reads across block boundaries.
+    for (int round = 0; round < 2; ++round) {
+      team.parallel_for(1, kElems - 1, Schedule::StaticBlock, [&](const Ctx&, long i) {
+        const auto u = static_cast<std::size_t>(i);
+        b.store(u, a.load(u - 1) + a.load(u) + a.load(u + 1));
+      });
+      team.parallel_for(1, kElems - 1, Schedule::StaticBlock, [&](const Ctx&, long i) {
+        a.store(static_cast<std::size_t>(i), b.load(static_cast<std::size_t>(i)) % 1000003);
+      });
+    }
+    team.sequential([&](const Ctx&) {
+      long s = 0;
+      for (std::size_t i = 0; i < kElems; ++i) s += a.load(i);
+      checksum = s;
+    });
+  });
+
+  // Golden value computed once on the host.
+  static long golden = -1;
+  std::vector<long> ha(kElems);
+  std::vector<long> hb(kElems);
+  for (std::size_t i = 0; i < kElems; ++i) ha[i] = static_cast<long>(i);
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 1; i + 1 < kElems; ++i) hb[i] = ha[i - 1] + ha[i] + ha[i + 1];
+    for (std::size_t i = 1; i + 1 < kElems; ++i) ha[i] = hb[i] % 1000003;
+  }
+  long expect = 0;
+  for (std::size_t i = 0; i < kElems; ++i) expect += ha[i];
+  golden = expect;
+  EXPECT_EQ(checksum, golden) << "page=" << page_bytes << " nodes=" << nodes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, PageNodeSweep,
+                         ::testing::Combine(::testing::Values(1024u, 4096u),
+                                            ::testing::Values(2u, 5u, 9u)));
+
+// ---------------------------------------------------------------------------
+// Structured access
+// ---------------------------------------------------------------------------
+
+struct Particle {
+  double x = 0;
+  double y = 0;
+  int charge = 0;
+  int pad = 0;
+};
+
+TEST(StructuredAccess, FieldGranularUpdatesMergeAcrossWriters) {
+  TmkConfig cfg;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, net::NetConfig{}, 2);
+  auto parts = ShArray<Particle>::alloc(cl, 64);
+
+  const auto work = cl.register_work([&](NodeRuntime& rt) {
+    // Node 0 writes x/y, node 1 writes charge of the SAME elements: field
+    // writes touch disjoint words, so the multiple-writer protocol merges.
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (rt.id() == 0) {
+        parts.set_field(i, &Particle::x, static_cast<double>(i));
+        parts.set_field(i, &Particle::y, static_cast<double>(2 * i));
+      } else {
+        parts.set_field(i, &Particle::charge, static_cast<int>(i % 3));
+      }
+    }
+  });
+
+  cl.run([&](NodeRuntime& rt) {
+    rt.fork(work);
+    cl.work(work)(rt);
+    rt.join_master();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const Particle p = parts.get(i);
+      EXPECT_DOUBLE_EQ(p.x, static_cast<double>(i));
+      EXPECT_DOUBLE_EQ(p.y, static_cast<double>(2 * i));
+      EXPECT_EQ(p.charge, static_cast<int>(i % 3));
+    }
+  });
+}
+
+TEST(StructuredAccess, ShObjRoundTrip) {
+  TmkConfig cfg;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, net::NetConfig{}, 2);
+  auto obj = ShObj<Particle>::alloc(cl);
+  double seen = -1;
+
+  const auto work = cl.register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      obj.set(&Particle::x, 42.5);
+    }
+    rt.barrier(3);
+    if (rt.id() == 0) seen = obj.get(&Particle::x);
+  });
+
+  cl.run([&](NodeRuntime& rt) {
+    rt.fork(work);
+    cl.work(work)(rt);
+    rt.join_master();
+  });
+  EXPECT_DOUBLE_EQ(seen, 42.5);
+}
+
+TEST(StructuredAccess, ElementsSpanningPageBoundaries) {
+  // A 24-byte element straddling a 1KB page boundary must fetch both pages.
+  TmkConfig cfg;
+  cfg.page_bytes = 1024;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, net::NetConfig{}, 2);
+  struct Wide {
+    double a, b, c;
+  };
+  // 1024/24 is not integral, so some element crosses each page boundary.
+  auto arr = ShArray<Wide>::alloc(cl, 128);
+  double total = -1;
+
+  const auto work = cl.register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        arr.store(i, Wide{1.0 * i, 2.0 * i, 3.0 * i});
+      }
+    }
+  });
+
+  cl.run([&](NodeRuntime& rt) {
+    rt.fork(work);
+    cl.work(work)(rt);
+    rt.join_master();
+    double s = 0;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      const Wide w = arr.get(i);
+      s += w.a + w.b + w.c;
+    }
+    total = s;
+  });
+
+  double expect = 0;
+  for (int i = 0; i < 128; ++i) expect += 6.0 * i;
+  EXPECT_DOUBLE_EQ(total, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across configurations
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DeterminismSweep, TwoRunsProduceIdenticalEventCounts) {
+  const std::size_t nodes = GetParam();
+  auto run_once = [nodes] {
+    TmkConfig cfg;
+    cfg.heap_bytes = 1u << 20;
+    Cluster cl(cfg, net::NetConfig{}, nodes);
+    rse::RseController rse(cl, rse::FlowControl::Chained);
+    ompnow::Team team(cl, SeqMode::Replicated, &rse);
+    auto data = ShArray<int>::alloc(cl, 2000);
+    cl.run([&](NodeRuntime&) {
+      team.parallel_for(0, 2000, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+        data.store(static_cast<std::size_t>(i), static_cast<int>(i));
+      });
+      team.sequential([&](const Ctx&) {
+        for (std::size_t i = 0; i < data.size(); ++i) data.store(i, data.load(i) + 1);
+      });
+    });
+    return std::tuple{cl.engine().now().ns, cl.engine().events_executed(),
+                      cl.network().messages_sent(), cl.network().bytes_sent()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, DeterminismSweep, ::testing::Values(2u, 4u, 7u));
+
+}  // namespace
+}  // namespace repseq::tmk

@@ -1,0 +1,247 @@
+// Protocol corner cases: the merged lazy-diff coverage rule (regression for
+// a real clobbering bug found during bring-up), empty diffs, lock
+// forwarding chains and queues, and mixed lock/barrier notice flow.
+#include <gtest/gtest.h>
+
+#include "tmk/access.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::tmk {
+namespace {
+
+std::unique_ptr<Cluster> make_cluster(std::size_t nodes) {
+  TmkConfig cfg;
+  cfg.heap_bytes = 1u << 20;
+  return std::make_unique<Cluster>(cfg, net::NetConfig{}, nodes);
+}
+
+// Regression: a twin spanning a closed interval plus the open interval's
+// prefix must be registered under the closed interval only.  If it is also
+// registered under the open interval's future index, a node that applied it
+// once re-applies the stale full-page image later and destroys newer data
+// (its own writes and third-party writes).
+TEST(MergedDiffs, EarlyFlushedSpanningTwinDoesNotClobberNewerWrites) {
+  auto cl = make_cluster(4);
+  constexpr std::size_t kInts = 1024;  // exactly one page
+  auto data = ShArray<int>::alloc(*cl, kInts, /*page_aligned=*/true);
+  std::vector<int> finals(4, -1);
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    const auto tid = static_cast<std::size_t>(rt.id());
+    if (rt.id() == 0) {
+      // Master: interval 2 is open (a write before anyone's request), so
+      // the lazy diff for interval 1 merges in this prefix.
+      data.store(512, 7001);
+    }
+    rt.barrier(11);
+    // Every node reads some master data (flushes the master's twin mid-
+    // interval on the first request) and then writes its own word.
+    (void)data.load(100 + tid);
+    data.store(tid, static_cast<int>(1000 + tid));
+    rt.barrier(12);
+    // Now every node needs the master's second interval (the write notice
+    // for index 2 arrived at barrier 12).  Fetching it must not revert
+    // anyone's word back to the interval-1 image.
+    EXPECT_EQ(data.load(512), 7001);
+    rt.barrier(13);
+    int ok = 1;
+    for (int t = 0; t < 4; ++t) {
+      if (data.load(static_cast<std::size_t>(t)) != 1000 + t) ok = 0;
+    }
+    finals[tid] = ok;
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    // Interval 1: master initializes the whole page.
+    for (std::size_t i = 0; i < kInts; ++i) data.store(i, 1);
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(finals[t], 1) << "node " << t;
+}
+
+TEST(MergedDiffs, EmptyDiffServesEarlyFlushedIntervalWithNoLaterWrites) {
+  auto cl = make_cluster(3);
+  auto data = ShArray<int>::alloc(*cl, 1024, /*page_aligned=*/true);
+  int seen_by_2 = -1;
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      // Node 1 reads early, forcing the master's open-interval twin to
+      // flush; the master makes no further writes before the interval
+      // closes, so the interval's registration is the empty diff.
+      EXPECT_EQ(data.load(3), 3);
+    }
+    rt.barrier(21);
+    if (rt.id() == 2) {
+      // Node 2 asks for that interval after the barrier; the content
+      // travelled in the early flush, the empty diff just clears the
+      // notice.
+      seen_by_2 = data.load(3);
+    }
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    for (std::size_t i = 0; i < 8; ++i) data.store(i, static_cast<int>(i));
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+
+  EXPECT_EQ(seen_by_2, 3);
+}
+
+TEST(MergedDiffs, IdenticalValueWritesYieldEmptyDiffButClearNotices) {
+  auto cl = make_cluster(2);
+  auto data = ShArray<int>::alloc(*cl, 64);
+  int value = -1;
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      data.store(0, 0);  // writes the value already there: empty diff
+    }
+    rt.barrier(31);
+    if (rt.id() == 0) value = data.load(0);
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+  EXPECT_EQ(value, 0);
+  // The master faulted (a notice existed) even though the diff was empty.
+  EXPECT_GE(cl->node(0).stats().par.page_faults, 1u);
+}
+
+TEST(Locks, GrantChainsAcrossThreeNodes) {
+  auto cl = make_cluster(3);
+  auto x = ShVar<int>::alloc(*cl);
+  std::vector<int> observed(3, -1);
+
+  // Lock 1 is managed by node 1 (1 % 3).  Each node increments in turn;
+  // the lock grant must carry the previous holder's write notices.
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    for (int round = 0; round < 3; ++round) {
+      rt.lock_acquire(1);
+      x.store(x.load() + 1);
+      rt.lock_release(1);
+    }
+    rt.barrier(41);
+    observed[rt.id()] = x.load();
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    x.store(0);
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+
+  for (int n = 0; n < 3; ++n) EXPECT_EQ(observed[n], 9) << "node " << n;
+}
+
+TEST(Locks, ManagerOnSelfTakesLocalFastPath) {
+  auto cl = make_cluster(2);
+  auto x = ShVar<int>::alloc(*cl);
+  // Lock 0 is managed by node 0; the master acquires it with no slaves
+  // contending -- no messages should be needed at all.
+  cl->run([&](NodeRuntime& rt) {
+    rt.lock_acquire(0);
+    x.store(5);
+    rt.lock_release(0);
+    EXPECT_EQ(x.load(), 5);
+  });
+  EXPECT_EQ(cl->network().messages_sent(), 0u);
+}
+
+TEST(Locks, WaitersQueueInFifoOrder) {
+  auto cl = make_cluster(4);
+  auto order = ShArray<int>::alloc(*cl, 8);
+  auto cursor = ShVar<int>::alloc(*cl);
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    // Stagger arrivals deterministically with compute.
+    rt.cpu().compute(sim::microseconds(100 * (rt.id() + 1)));
+    rt.lock_acquire(2);
+    const int pos = cursor.load();
+    order.store(static_cast<std::size_t>(pos), static_cast<int>(rt.id()));
+    cursor.store(pos + 1);
+    rt.lock_release(2);
+  });
+
+  std::vector<int> got;
+  cl->run([&](NodeRuntime& rt) {
+    cursor.store(0);
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+    for (int i = 0; i < 4; ++i) got.push_back(order.load(static_cast<std::size_t>(i)));
+  });
+
+  // All four nodes appear exactly once.
+  std::vector<int> sorted = got;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(LocksAndBarriers, LockLearnedNoticesSurviveBarrierRedistribution) {
+  auto cl = make_cluster(3);
+  auto a = ShVar<int>::alloc(*cl);
+  auto b = ShVar<int>::alloc(*cl);
+  int seen = -1;
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      rt.lock_acquire(5);
+      a.store(11);
+      rt.lock_release(5);
+    }
+    if (rt.id() == 2) {
+      rt.cpu().compute(sim::milliseconds(1));
+      rt.lock_acquire(5);  // learns node 1's interval via the grant
+      b.store(a.load() + 1);
+      rt.lock_release(5);
+    }
+    rt.barrier(51);  // the master must now know both intervals
+    if (rt.id() == 0) seen = a.load() + b.load();
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+
+  EXPECT_EQ(seen, 11 + 12);
+}
+
+TEST(Stats, PhaseTaggingSeparatesSequentialAndParallelTraffic) {
+  auto cl = make_cluster(2);
+  auto data = ShArray<int>::alloc(*cl, 2048);
+
+  const auto work = cl->register_work([&](NodeRuntime& rt) {
+    if (rt.id() == 1) {
+      for (std::size_t i = 0; i < data.size(); ++i) (void)data.load(i);
+    }
+  });
+
+  cl->run([&](NodeRuntime& rt) {
+    for (std::size_t i = 0; i < data.size(); ++i) data.store(i, 1);  // sequential phase
+    rt.fork(work);
+    cl->work(work)(rt);
+    rt.join_master();
+  });
+
+  const PhaseCounters seq = cl->total(Phase::Sequential);
+  const PhaseCounters par = cl->total(Phase::Parallel);
+  // All diff traffic happened inside the parallel region here.
+  EXPECT_EQ(seq.diff_msgs_sent, 0u);
+  EXPECT_GT(par.diff_msgs_sent, 0u);
+  EXPECT_GT(par.diff_bytes_sent, 0u);
+}
+
+}  // namespace
+}  // namespace repseq::tmk

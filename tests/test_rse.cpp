@@ -1,0 +1,342 @@
+// Tests for replicated sequential execution: correctness of replication,
+// the Section 5.3 lazy-diff hazard fix, the flow-controlled multicast
+// protocol (all three policies), contention elimination, and the
+// broadcast-after alternative.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ompnow/team.hpp"
+#include "rse/controller.hpp"
+#include "tmk/access.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::rse {
+namespace {
+
+using ompnow::Ctx;
+using ompnow::Schedule;
+using ompnow::SeqMode;
+using ompnow::Team;
+
+struct World {
+  tmk::TmkConfig cfg;
+  net::NetConfig ncfg;
+  std::unique_ptr<tmk::Cluster> cl;
+  std::unique_ptr<RseController> rse;
+  std::unique_ptr<Team> team;
+
+  explicit World(std::size_t nodes, SeqMode mode, FlowControl flow = FlowControl::Chained,
+                 std::function<void(World&)> tweak = {}) {
+    cfg.heap_bytes = 1u << 20;
+    if (tweak) tweak(*this);
+    cl = std::make_unique<tmk::Cluster>(cfg, ncfg, nodes);
+    rse = std::make_unique<RseController>(*cl, flow);
+    team = std::make_unique<Team>(*cl, mode, rse.get());
+  }
+};
+
+TEST(Rse, ReplicatedSectionComputesIdenticalStateEverywhere) {
+  World w(4, SeqMode::Replicated);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 512);
+  std::vector<int> seen(4, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    // Parallel phase: each node initializes a stripe.
+    w.team->parallel_for(0, 512, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      data.store(static_cast<std::size_t>(i), static_cast<int>(i));
+    });
+    // Replicated sequential section: reads everything (multicast fetch),
+    // rewrites everything locally (no propagation needed afterwards).
+    w.team->sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data.store(i, data.load(i) * 2);
+      }
+    });
+    // Parallel phase: every node verifies its full local view.
+    w.team->parallel([&](const Ctx& ctx) {
+      int ok = 1;
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        if (data.load(i) != static_cast<int>(i) * 2) ok = 0;
+      }
+      seen[ctx.tid] = ok;
+    });
+  });
+
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(seen[t], 1) << "thread " << t;
+}
+
+TEST(Rse, SectionWritesAreNotPropagatedAfterwards) {
+  World w(4, SeqMode::Replicated);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 2048);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < data.size(); ++i) data.store(i, 7);
+    });
+    w.team->parallel([&](const Ctx&) {
+      long sum = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) sum += data.load(i);
+      EXPECT_EQ(sum, 7 * 2048);
+    });
+  });
+
+  // Reading section-written pages in the parallel phase must not fault:
+  // every node already holds the up-to-date copy it computed itself.
+  for (net::NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(w.cl->node(n).stats().par.page_faults, 0u) << "node " << n;
+  }
+}
+
+TEST(Rse, LazyDiffHazardYieldsPreSectionDataOnly) {
+  // The Section 5.3 scenario: node 1 dirties a page before the section and
+  // the diff stays lazy.  Inside the replicated section every node performs
+  // a non-idempotent update (+=) on that page.  If the multicast diff
+  // leaked node 1's replicated write, other nodes would double-apply it.
+  World w(4, SeqMode::Replicated);
+  auto cell = tmk::ShArray<int>::alloc(*w.cl, 16);
+  std::vector<int> finals(4, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->parallel([&](const Ctx& ctx) {
+      if (ctx.tid == 1) cell.store(0, 5);  // page dirty at node 1, diff lazy
+    });
+    w.team->sequential([&](const Ctx&) {
+      cell.store(0, cell.load(0) + 10);  // non-idempotent replicated write
+    });
+    w.team->parallel([&](const Ctx& ctx) { finals[ctx.tid] = cell.load(0); });
+  });
+
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(finals[t], 15) << "thread " << t;
+}
+
+TEST(Rse, NullAcksFlowOnlyInChainedMode) {
+  auto run = [](FlowControl flow) {
+    World w(4, SeqMode::Replicated, flow);
+    auto data = tmk::ShArray<int>::alloc(*w.cl, 4096);
+    w.cl->run([&](tmk::NodeRuntime&) {
+      // Only node 1 writes, so the other three nodes hold nothing and must
+      // contribute pure null acknowledgments to each chain.
+      w.team->parallel([&](const Ctx& ctx) {
+        if (ctx.tid == 1) {
+          for (std::size_t i = 0; i < data.size(); ++i) data.store(i, static_cast<int>(i));
+        }
+      });
+      w.team->sequential([&](const Ctx&) {
+        long sum = 0;
+        for (std::size_t i = 0; i < data.size(); ++i) sum += data.load(i);
+        EXPECT_EQ(sum, 4095L * 4096 / 2);
+      });
+    });
+    std::uint64_t null_acks = 0;
+    for (net::NodeId n = 0; n < 4; ++n) {
+      null_acks += w.cl->node(n).stats().seq.null_acks_sent;
+    }
+    return null_acks;
+  };
+
+  EXPECT_GT(run(FlowControl::Chained), 0u);
+  EXPECT_EQ(run(FlowControl::Windowed), 0u);
+  EXPECT_EQ(run(FlowControl::None), 0u);
+}
+
+class FlowControlProperty : public ::testing::TestWithParam<FlowControl> {};
+
+TEST_P(FlowControlProperty, AllPoliciesComputeTheSameResult) {
+  World w(5, SeqMode::Replicated, GetParam());
+  auto data = tmk::ShArray<long>::alloc(*w.cl, 1500);
+  long expect = 0;
+  for (int i = 0; i < 1500; ++i) expect += 3L * i + 1;
+  std::vector<long> sums(5, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    for (int iter = 0; iter < 2; ++iter) {
+      w.team->parallel_for(0, 1500, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+        data.store(static_cast<std::size_t>(i), 3L * i);
+      });
+      w.team->sequential([&](const Ctx&) {
+        for (std::size_t i = 0; i < data.size(); ++i) data.store(i, data.load(i) + 1);
+      });
+      w.team->parallel([&](const Ctx& ctx) {
+        long s = 0;
+        for (std::size_t i = 0; i < data.size(); ++i) s += data.load(i);
+        sums[ctx.tid] = s;
+      });
+    }
+  });
+
+  for (int t = 0; t < 5; ++t) EXPECT_EQ(sums[t], expect) << "thread " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, FlowControlProperty,
+                         ::testing::Values(FlowControl::Chained, FlowControl::Windowed,
+                                           FlowControl::None));
+
+TEST(Rse, NoFlowControlOverrunsTinyReceiveBuffers) {
+  // The strawman from Section 5.4: without serialization and acks, bursts
+  // of concurrent multicast rounds overrun small receive rings; timeout
+  // recovery keeps the run correct anyway, at a cost.
+  // Receive handling is made slower than back-to-back frame arrival so a
+  // round's reply burst (five concurrent holders on the hub) overruns the
+  // four-slot ring -- the asymmetry the paper's flow control guards against.
+  World w(6, SeqMode::Replicated, FlowControl::None, [](World& ww) {
+    ww.ncfg.recv_buffer_msgs = 3;
+    ww.ncfg.recv_overhead = sim::microseconds(150);
+    ww.cfg.rse_wait_timeout = sim::milliseconds(30);
+  });
+
+  // 64 pages; every node writes one word in each page, so every node holds
+  // a tiny diff for every page: one request triggers five instant replies,
+  // and 64 rounds fire with no serialization at all.
+  constexpr std::size_t kPages = 64;
+  constexpr std::size_t kIntsPerPage = 4096 / sizeof(int);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, kPages * kIntsPerPage, /*page_aligned=*/true);
+  std::vector<long> sums(6, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->parallel([&](const Ctx& ctx) {
+      for (std::size_t p = 0; p < kPages; ++p) {
+        data.store(p * kIntsPerPage + static_cast<std::size_t>(ctx.tid), 1 + ctx.tid);
+      }
+    });
+    w.team->sequential([&](const Ctx&) {
+      long s = 0;
+      for (std::size_t p = 0; p < kPages; ++p) {
+        for (int t = 0; t < 6; ++t) s += data.load(p * kIntsPerPage + static_cast<std::size_t>(t));
+      }
+      EXPECT_EQ(s, static_cast<long>(kPages) * (1 + 2 + 3 + 4 + 5 + 6));
+    });
+    w.team->parallel([&](const Ctx& ctx) {
+      long s = 0;
+      for (std::size_t p = 0; p < kPages; ++p) {
+        for (int t = 0; t < 6; ++t) s += data.load(p * kIntsPerPage + static_cast<std::size_t>(t));
+      }
+      sums[ctx.tid] = s;
+    });
+  });
+
+  for (int t = 0; t < 6; ++t) {
+    EXPECT_EQ(sums[t], static_cast<long>(kPages) * 21) << "thread " << t;
+  }
+  EXPECT_GT(w.cl->network().total_drops(), 0u);
+}
+
+TEST(Rse, EliminatesContentionAfterSequentialSection) {
+  // The headline effect: master writes a large block sequentially; all
+  // threads then read disjoint parts in parallel.  Replication must cut the
+  // parallel-section fault count to zero and with it the response time.
+  auto run = [](SeqMode mode) {
+    World w(8, mode);
+    auto data = tmk::ShArray<int>::alloc(*w.cl, 8 * 1024);
+    w.cl->run([&](tmk::NodeRuntime&) {
+      w.team->sequential([&](const Ctx&) {
+        for (std::size_t i = 0; i < data.size(); ++i) data.store(i, static_cast<int>(i));
+      });
+      w.team->parallel([&](const Ctx& ctx) {
+        const auto r = ompnow::block_range(0, static_cast<long>(data.size()), ctx.tid,
+                                           ctx.nthreads);
+        long s = 0;
+        for (long i = r.lo; i < r.hi; ++i) s += data.load(static_cast<std::size_t>(i));
+        EXPECT_GE(s, 0L);
+      });
+    });
+    const tmk::PhaseCounters par = w.cl->total(tmk::Phase::Parallel);
+    const tmk::PhaseCounters seq = w.cl->total(tmk::Phase::Sequential);
+    struct Out {
+      std::uint64_t par_faults, seq_msgs;
+      double par_response;
+      sim::SimDuration par_time;
+    };
+    return Out{par.page_faults, seq.msgs_sent, par.response_ms.mean(),
+               w.team->parallel_time()};
+  };
+
+  const auto base = run(SeqMode::MasterOnly);
+  const auto repl = run(SeqMode::Replicated);
+
+  EXPECT_GT(base.par_faults, 0u);
+  EXPECT_EQ(repl.par_faults, 0u);               // contention eliminated
+  EXPECT_GT(repl.seq_msgs, base.seq_msgs);       // but the section costs more
+  EXPECT_LT(repl.par_time, base.par_time);       // and the parallel phase wins
+}
+
+TEST(Rse, BroadcastAfterAlternativeAlsoEliminatesFaults) {
+  World w(4, SeqMode::BroadcastAfter);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 4096);
+  std::vector<long> sums(4, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < data.size(); ++i) data.store(i, 2);
+    });
+    w.team->parallel([&](const Ctx& ctx) {
+      long s = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) s += data.load(i);
+      sums[ctx.tid] = s;
+    });
+  });
+
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(sums[t], 2L * 4096) << "thread " << t;
+  // The push happened in the sequential section; parallel reads are local.
+  EXPECT_EQ(w.cl->total(tmk::Phase::Parallel).page_faults, 0u);
+}
+
+TEST(Rse, ReplicatedModeIsDeterministic) {
+  auto run_once = [] {
+    World w(4, SeqMode::Replicated);
+    auto data = tmk::ShArray<int>::alloc(*w.cl, 3000);
+    w.cl->run([&](tmk::NodeRuntime&) {
+      w.team->parallel_for(0, 3000, Schedule::StaticBlock, [&](const Ctx&, long i) {
+        data.store(static_cast<std::size_t>(i), static_cast<int>(i % 17));
+      });
+      w.team->sequential([&](const Ctx&) {
+        for (std::size_t i = 0; i < data.size(); ++i) data.store(i, data.load(i) + 1);
+      });
+    });
+    return std::pair{w.cl->engine().now().ns, w.cl->engine().events_executed()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Rse, MasterGuardedSideEffectsRunOnce) {
+  World w(4, SeqMode::Replicated);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 64);
+  int io_count = 0;
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->sequential([&](const Ctx& ctx) {
+      data.store(0, 1);
+      ctx.master_only([&] { ++io_count; });  // I/O guard, Section 5.2
+    });
+  });
+
+  EXPECT_EQ(io_count, 1);
+}
+
+TEST(TeamSchedules, BlockRangePartitionsExactly) {
+  long covered = 0;
+  for (int t = 0; t < 7; ++t) {
+    const auto r = ompnow::block_range(0, 100, t, 7);
+    covered += r.hi - r.lo;
+    EXPECT_LE(r.lo, r.hi);
+  }
+  EXPECT_EQ(covered, 100);
+  // First ranges absorb the remainder.
+  EXPECT_EQ(ompnow::block_range(0, 100, 0, 7).hi - ompnow::block_range(0, 100, 0, 7).lo, 15);
+}
+
+TEST(TeamSchedules, IfClauseRunsInlineWithoutFork) {
+  World w(4, SeqMode::MasterOnly);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 32);
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->parallel_for(0, 32, Schedule::StaticCyclic,
+                         [&](const Ctx&, long i) { data.store(static_cast<std::size_t>(i), 1); },
+                         /*if_parallel=*/false);
+  });
+  EXPECT_EQ(w.team->parallel_regions(), 0u);
+  EXPECT_EQ(w.cl->network().messages_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace repseq::rse

@@ -1,0 +1,202 @@
+// Unit tests for the passive DSM data structures: diffs, vector clocks,
+// interval logs, the shared heap and page bookkeeping.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "tmk/diff.hpp"
+#include "tmk/gaddr.hpp"
+#include "tmk/interval.hpp"
+#include "tmk/shared_heap.hpp"
+#include "tmk/vector_clock.hpp"
+
+namespace repseq::tmk {
+namespace {
+
+std::vector<std::byte> make_page(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(Diff, EmptyWhenIdentical) {
+  auto a = make_page(256, 7);
+  Diff d = Diff::create(a, a);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.word_count(), 0u);
+}
+
+TEST(Diff, CapturesSingleWordChange) {
+  auto twin = make_page(256, 0);
+  auto cur = twin;
+  cur[100] = std::byte{0xff};
+  Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 1u);
+  EXPECT_EQ(d.runs()[0].word_index, 25u);  // byte 100 -> word 25
+  EXPECT_EQ(d.word_count(), 1u);
+}
+
+TEST(Diff, CoalescesAdjacentChangesIntoRuns) {
+  auto twin = make_page(256, 0);
+  auto cur = twin;
+  for (int b = 16; b < 32; ++b) cur[b] = std::byte{1};  // words 4..7
+  for (int b = 64; b < 72; ++b) cur[b] = std::byte{2};  // words 16..17
+  Diff d = Diff::create(twin, cur);
+  ASSERT_EQ(d.runs().size(), 2u);
+  EXPECT_EQ(d.runs()[0].word_index, 4u);
+  EXPECT_EQ(d.runs()[0].values.size(), 4u);
+  EXPECT_EQ(d.runs()[1].word_index, 16u);
+  EXPECT_EQ(d.runs()[1].values.size(), 2u);
+}
+
+TEST(Diff, ApplyReconstructsModifiedPage) {
+  sim::Rng rng(2024);
+  auto twin = make_page(4096, 0);
+  for (auto& b : twin) b = static_cast<std::byte>(rng.next_below(256));
+  auto cur = twin;
+  for (int i = 0; i < 200; ++i) {
+    cur[rng.next_below(4096)] = static_cast<std::byte>(rng.next_below(256));
+  }
+  Diff d = Diff::create(twin, cur);
+  auto rebuilt = twin;
+  d.apply(rebuilt);
+  EXPECT_EQ(std::memcmp(rebuilt.data(), cur.data(), cur.size()), 0);
+}
+
+// Property sweep: random twin/current pairs with varying density round-trip
+// exactly, and the encoding never exceeds page + header bounds.
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RoundTripAndSizeBounds) {
+  const int density_pct = GetParam();
+  sim::Rng rng(77 + density_pct);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto twin = make_page(1024, 0);
+    for (auto& b : twin) b = static_cast<std::byte>(rng.next_below(256));
+    auto cur = twin;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      if (rng.next_below(100) < static_cast<std::uint64_t>(density_pct)) {
+        cur[i] = static_cast<std::byte>(rng.next_below(256));
+      }
+    }
+    Diff d = Diff::create(twin, cur);
+    auto rebuilt = twin;
+    d.apply(rebuilt);
+    ASSERT_EQ(std::memcmp(rebuilt.data(), cur.data(), cur.size()), 0)
+        << "density " << density_pct << " trial " << trial;
+    // Wire size bound: header + one run descriptor per run + payload.
+    EXPECT_LE(d.wire_bytes(), 12 + 8 * d.runs().size() + 1024 + 4);
+    // Runs are sorted, non-empty and non-adjacent.
+    for (std::size_t r = 0; r < d.runs().size(); ++r) {
+      EXPECT_FALSE(d.runs()[r].values.empty());
+      if (r > 0) {
+        EXPECT_GT(d.runs()[r].word_index,
+                  d.runs()[r - 1].word_index + d.runs()[r - 1].values.size());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DiffProperty, ::testing::Values(0, 1, 5, 25, 60, 100));
+
+TEST(VectorClock, CoversAndMax) {
+  VectorClock a(4);
+  a.set(1, 5);
+  EXPECT_TRUE(a.covers(1, 5));
+  EXPECT_TRUE(a.covers(1, 4));
+  EXPECT_FALSE(a.covers(1, 6));
+  EXPECT_TRUE(a.covers(2, 0));
+
+  VectorClock b(4);
+  b.set(1, 3);
+  b.set(2, 9);
+  a.max_with(b);
+  EXPECT_EQ(a.at(1), 5u);
+  EXPECT_EQ(a.at(2), 9u);
+}
+
+TEST(VectorClock, DominatedByIsPartialOrder) {
+  VectorClock a(3);
+  VectorClock b(3);
+  b.set(0, 1);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+  VectorClock c(3);
+  c.set(1, 1);
+  EXPECT_FALSE(b.dominated_by(c));
+  EXPECT_FALSE(c.dominated_by(b));  // concurrent
+}
+
+TEST(VectorClock, LamportSumRespectsHappensBefore) {
+  VectorClock a(3);
+  a.set(0, 2);
+  VectorClock b = a;
+  b.set(1, 4);  // b strictly after a
+  EXPECT_LT(a.lamport_sum(), b.lamport_sum());
+}
+
+TEST(IntervalLog, InsertsInOrderAndIgnoresDuplicates) {
+  IntervalLog log(2);
+  auto rec = [&](NodeId o, std::uint32_t i) {
+    auto r = std::make_shared<IntervalRecord>();
+    r->owner = o;
+    r->index = i;
+    r->vc = VectorClock(2);
+    r->vc.set(o, i);
+    return r;
+  };
+  log.insert(rec(0, 1));
+  log.insert(rec(0, 2));
+  log.insert(rec(0, 1));  // duplicate ignored
+  EXPECT_EQ(log.known(0), 2u);
+  EXPECT_EQ(log.known(1), 0u);
+  EXPECT_EQ(log.get(0, 2).index, 2u);
+}
+
+TEST(IntervalLog, RecordsAfterReturnsExactlyTheGap) {
+  IntervalLog log(2);
+  for (std::uint32_t i = 1; i <= 5; ++i) {
+    auto r = std::make_shared<IntervalRecord>();
+    r->owner = 1;
+    r->index = i;
+    r->vc = VectorClock(2);
+    r->vc.set(1, i);
+    log.insert(r);
+  }
+  VectorClock vc(2);
+  vc.set(1, 3);
+  auto gap = log.records_after(vc);
+  ASSERT_EQ(gap.size(), 2u);
+  EXPECT_EQ(gap[0]->index, 4u);
+  EXPECT_EQ(gap[1]->index, 5u);
+}
+
+TEST(SharedHeap, BumpAllocationWithAlignment) {
+  SharedHeap heap(4096);
+  GAddr a = heap.alloc(10, 8);
+  GAddr b = heap.alloc(10, 8);
+  EXPECT_EQ(a.off, 0u);
+  EXPECT_EQ(b.off, 16u);
+  GAddr c = heap.alloc(1, 256);
+  EXPECT_EQ(c.off % 256, 0u);
+  EXPECT_EQ(heap.allocations(), 3u);
+}
+
+TEST(SharedHeap, ExhaustionAborts) {
+  SharedHeap heap(64);
+  (void)heap.alloc(64);
+  EXPECT_DEATH((void)heap.alloc(1), "shared heap exhausted");
+}
+
+TEST(GAddrPages, PageArithmetic) {
+  EXPECT_EQ(page_of(GAddr{0}, 4096), 0u);
+  EXPECT_EQ(page_of(GAddr{4095}, 4096), 0u);
+  EXPECT_EQ(page_of(GAddr{4096}, 4096), 1u);
+  EXPECT_EQ(page_offset(GAddr{4097}, 4096), 1u);
+  EXPECT_TRUE(GAddr::null().is_null());
+  EXPECT_FALSE(GAddr{0}.is_null());
+}
+
+}  // namespace
+}  // namespace repseq::tmk
