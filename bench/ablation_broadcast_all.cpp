@@ -17,11 +17,19 @@ int main() {
                "PPoPP'01 Section 4.2",
                "push everything (BroadcastSeq) vs replicate + pull-on-demand (Optimized)");
 
+  // The push-everything strawman fans the section's data out as one unicast
+  // per destination: select the DirectAll transport for the broadcast runs
+  // (REPSEQ_TRANSPORT still overrides for cross-backend sweeps).
+  apps::harness::RunOptions bcast_opt = options_for(Mode::BroadcastSeq);
+  bcast_opt.net.transport = bench_transport(net::TransportKind::DirectAll);
+  std::printf("broadcast runs use the '%s' transport\n\n",
+              net::transport_name(bcast_opt.net.transport));
+
   {
     apps::ilink::IlinkConfig cfg = ilink_config();
     cfg.iterations = static_cast<int>(env_long("ILINK_ITERATIONS", 4));
     const auto orig = apps::harness::run_ilink(options_for(Mode::Original), cfg);
-    const auto bcast = apps::harness::run_ilink(options_for(Mode::BroadcastSeq), cfg);
+    const auto bcast = apps::harness::run_ilink(bcast_opt, cfg);
     const auto opt = apps::harness::run_ilink(options_for(Mode::Optimized), cfg);
     if (orig.checksum != bcast.checksum || orig.checksum != opt.checksum) {
       std::printf("ERROR: Ilink results diverge across modes\n");
@@ -42,7 +50,7 @@ int main() {
   {
     apps::bh::BhConfig cfg = bh_config();
     cfg.bodies = static_cast<int>(env_long("A2_BH_BODIES", 2048));
-    const auto bcast = apps::harness::run_barnes_hut(options_for(Mode::BroadcastSeq), cfg);
+    const auto bcast = apps::harness::run_barnes_hut(bcast_opt, cfg);
     const auto opt = apps::harness::run_barnes_hut(options_for(Mode::Optimized), cfg);
     if (bcast.checksum != opt.checksum) {
       std::printf("ERROR: Barnes-Hut results diverge across modes\n");

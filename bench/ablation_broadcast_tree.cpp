@@ -24,8 +24,14 @@ int main() {
                    .c_str());
 
   const auto orig = apps::harness::run_barnes_hut(options_for(Mode::Original), cfg);
-  const auto bcast = apps::harness::run_barnes_hut(options_for(Mode::BroadcastSeq), cfg);
+  // The hand-inserted broadcast rides the software multicast tree: select
+  // the TreeMulticast transport for the broadcast run (REPSEQ_TRANSPORT
+  // still overrides, so the sweep can be repeated on any backend).
+  apps::harness::RunOptions bcast_opt = options_for(Mode::BroadcastSeq);
+  bcast_opt.net.transport = bench_transport(net::TransportKind::TreeMulticast);
+  const auto bcast = apps::harness::run_barnes_hut(bcast_opt, cfg);
   const auto opt = apps::harness::run_barnes_hut(options_for(Mode::Optimized), cfg);
+  std::printf("transports: %s / %s / %s\n", orig.transport, bcast.transport, opt.transport);
 
   if (orig.checksum != bcast.checksum || orig.checksum != opt.checksum) {
     std::printf("ERROR: checksums diverge across modes\n");

@@ -26,6 +26,20 @@ inline long env_long(const char* name, long fallback) {
 
 inline std::size_t bench_nodes() { return static_cast<std::size_t>(env_long("NODES", 32)); }
 
+/// The wire backend for a sweep: REPSEQ_TRANSPORT=hub|tree|direct overrides
+/// the bench's own default, so every sweep can run on any transport.
+inline net::TransportKind bench_transport(
+    net::TransportKind fallback = net::TransportKind::HubSwitch) {
+  const char* v = std::getenv("REPSEQ_TRANSPORT");
+  if (v != nullptr) {
+    const auto k = net::parse_transport(v);
+    if (k) return *k;
+    std::fprintf(stderr, "unknown REPSEQ_TRANSPORT '%s' (hub|tree|direct); using %s\n", v,
+                 net::transport_name(fallback));
+  }
+  return fallback;
+}
+
 /// The scaled Barnes-Hut workload (paper: 131072 bodies, 2 steps).
 inline apps::bh::BhConfig bh_config() {
   apps::bh::BhConfig cfg;
@@ -52,6 +66,7 @@ inline apps::harness::RunOptions options_for(apps::harness::Mode mode,
   apps::harness::RunOptions o;
   o.mode = mode;
   o.nodes = nodes;
+  o.net.transport = bench_transport();
   o.tmk.heap_bytes = static_cast<std::size_t>(env_long("HEAP_MB", 24)) << 20;
   return o;
 }

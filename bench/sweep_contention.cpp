@@ -22,7 +22,9 @@ Point probe(std::size_t nodes) {
   using namespace repseq;
   tmk::TmkConfig cfg;
   cfg.heap_bytes = 8u << 20;
-  tmk::Cluster cl(cfg, net::NetConfig{}, nodes);
+  net::NetConfig ncfg;
+  ncfg.transport = bench::bench_transport();
+  tmk::Cluster cl(cfg, ncfg, nodes);
   rse::RseController rse(cl, rse::FlowControl::Chained);
   ompnow::Team team(cl, ompnow::SeqMode::MasterOnly, &rse);
 

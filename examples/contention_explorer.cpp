@@ -23,10 +23,10 @@ struct Sample {
   double max_ms;
 };
 
-Sample probe(std::size_t nodes, bool replicated) {
+Sample probe(std::size_t nodes, bool replicated, const net::NetConfig& ncfg) {
   tmk::TmkConfig cfg;
   cfg.heap_bytes = 8u << 20;
-  tmk::Cluster cl(cfg, net::NetConfig{}, nodes);
+  tmk::Cluster cl(cfg, ncfg, nodes);
   rse::RseController rse(cl, rse::FlowControl::Chained);
   ompnow::Team team(cl, replicated ? ompnow::SeqMode::Replicated : ompnow::SeqMode::MasterOnly,
                     &rse);
@@ -56,14 +56,24 @@ Sample probe(std::size_t nodes, bool replicated) {
 
 }  // namespace
 
-int main() {
-  std::printf("Hot-spot response time vs cluster size (64 master-written pages)\n\n");
+int main(int argc, char** argv) {
+  net::NetConfig ncfg;
+  if (argc > 1) {
+    const auto kind = net::parse_transport(argv[1]);
+    if (!kind) {
+      std::fprintf(stderr, "usage: %s [hub|tree|direct]\n", argv[0]);
+      return 2;
+    }
+    ncfg.transport = *kind;
+  }
+  std::printf("Hot-spot response time vs cluster size (64 master-written pages)\n");
+  std::printf("transport: %s\n\n", net::transport_name(ncfg.transport));
   std::printf("%6s | %-28s | %-28s\n", "nodes", "base avg/max response (ms)",
               "replicated avg/max (ms)");
   std::printf("-------+------------------------------+-----------------------------\n");
   for (std::size_t nodes : {2, 4, 8, 16, 24, 32}) {
-    const Sample base = probe(nodes, false);
-    const Sample repl = probe(nodes, true);
+    const Sample base = probe(nodes, false, ncfg);
+    const Sample repl = probe(nodes, true, ncfg);
     const int bar = std::min(24, static_cast<int>(base.avg_ms * 4.0));
     std::printf("%6zu | %6.2f / %-7.2f %-12s | %6.2f / %.2f\n", nodes, base.avg_ms,
                 base.max_ms, std::string(static_cast<std::size_t>(bar), '#').c_str(),

@@ -23,6 +23,19 @@ const char* mode_name(Mode m) {
   return "?";
 }
 
+const char* flow_name(rse::FlowControl f) {
+  switch (f) {
+    case rse::FlowControl::Chained:
+      return "Chained";
+    case rse::FlowControl::Windowed:
+      return "Windowed";
+    case rse::FlowControl::None:
+      return "None";
+  }
+  return "?";
+}
+
+
 namespace {
 
 ompnow::SeqMode seq_mode_for(Mode m) {
@@ -54,6 +67,7 @@ struct Bench {
     RunReport r;
     r.mode = opt.mode;
     r.nodes = nodes;
+    r.transport = net::transport_name(opt.net.transport);
     r.total_s = total_s;
     r.seq_s = seq_s;
     r.par_s = par_s;

@@ -22,19 +22,21 @@ enum class Mode {
 };
 
 [[nodiscard]] const char* mode_name(Mode m);
+[[nodiscard]] const char* flow_name(rse::FlowControl f);
 
 struct RunOptions {
   std::size_t nodes = 32;
   Mode mode = Mode::Original;
   rse::FlowControl flow = rse::FlowControl::Chained;
   tmk::TmkConfig tmk;
-  net::NetConfig net;
+  net::NetConfig net;  // net.transport selects the wire backend
 };
 
 /// One row set for the paper's statistics tables.
 struct RunReport {
   Mode mode = Mode::Original;
   std::size_t nodes = 0;
+  const char* transport = "";  // wire backend the run used
 
   double total_s = 0;  // Table 1/3 "Total time"
   double seq_s = 0;    // "Sequential time"

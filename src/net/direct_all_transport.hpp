@@ -1,0 +1,26 @@
+// The fan-out strawman: "multicast" as one switched unicast per destination.
+// All N-1 frames serialize back-to-back on the source uplink, which is
+// exactly the contention the paper's hub multicast avoids -- this backend
+// exists to make that cost measurable (ablation_broadcast_all).
+#pragma once
+
+#include "net/transport.hpp"
+
+namespace repseq::net {
+
+class DirectAllTransport final : public SwitchedTransport {
+ public:
+  DirectAllTransport(sim::Engine& eng, const NetConfig& cfg,
+                     std::vector<std::unique_ptr<Nic>>& nics)
+      : SwitchedTransport(eng, cfg, nics) {}
+
+  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
+                        const DeliverFn& deliver) override;
+
+  /// The source transmits every fan-out frame itself.
+  [[nodiscard]] std::size_t sender_frames(std::size_t receivers) const override {
+    return receivers;
+  }
+};
+
+}  // namespace repseq::net

@@ -1,0 +1,17 @@
+#include "net/hub_switch_transport.hpp"
+
+namespace repseq::net {
+
+std::size_t HubSwitchTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                          const DeliverFn& deliver) {
+  // One frame occupies the shared medium; all receivers see it at the same
+  // instant once it has fully propagated.
+  const sim::SimTime done = hub_.transmit(wire_bytes, eng_.now());
+  for (NodeId n = 0; n < nics_.size(); ++n) {
+    if (n == msg.src) continue;  // the sender consumes its own data locally
+    deliver(n, done);
+  }
+  return 1;
+}
+
+}  // namespace repseq::net

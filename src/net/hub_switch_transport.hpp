@@ -1,0 +1,24 @@
+// The paper's testbed wiring: unicast rides the switch, multicast rides the
+// shared half-duplex hub (their switch forwarded multicast slowly).  A hub
+// frame reaches every group member simultaneously.
+#pragma once
+
+#include "net/hub.hpp"
+#include "net/transport.hpp"
+
+namespace repseq::net {
+
+class HubSwitchTransport final : public SwitchedTransport {
+ public:
+  HubSwitchTransport(sim::Engine& eng, const NetConfig& cfg,
+                     std::vector<std::unique_ptr<Nic>>& nics)
+      : SwitchedTransport(eng, cfg, nics), hub_(eng, cfg) {}
+
+  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
+                        const DeliverFn& deliver) override;
+
+ private:
+  Hub hub_;
+};
+
+}  // namespace repseq::net

@@ -9,12 +9,54 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "sim/clock.hpp"
 
 namespace repseq::net {
 
+/// Which wire model carries the cluster's traffic (see net/transport.hpp).
+enum class TransportKind {
+  /// Unicast rides the switch, multicast rides the shared hub (the paper's
+  /// testbed: switched Ethernet + a multicast hub).
+  HubSwitch,
+  /// Software multicast: a k-ary forwarding tree of switched unicasts with
+  /// per-hop latency (the Section 6.1.2 hand-inserted tree broadcast).
+  TreeMulticast,
+  /// Strawman: multicast as a per-destination unicast fan-out serialized on
+  /// the source uplink.
+  DirectAll,
+};
+
+[[nodiscard]] constexpr const char* transport_name(TransportKind k) {
+  switch (k) {
+    case TransportKind::HubSwitch:
+      return "hub-switch";
+    case TransportKind::TreeMulticast:
+      return "tree-multicast";
+    case TransportKind::DirectAll:
+      return "direct-all";
+  }
+  return "?";
+}
+
+/// Parses a transport selection from a CLI flag / environment variable.
+/// Accepts the canonical names plus short aliases ("hub", "tree", "direct").
+[[nodiscard]] inline std::optional<TransportKind> parse_transport(std::string_view s) {
+  if (s == "hub" || s == "hub-switch") return TransportKind::HubSwitch;
+  if (s == "tree" || s == "tree-multicast") return TransportKind::TreeMulticast;
+  if (s == "direct" || s == "direct-all") return TransportKind::DirectAll;
+  return std::nullopt;
+}
+
 struct NetConfig {
+  /// Transport backend carrying unicast and multicast traffic.
+  TransportKind transport = TransportKind::HubSwitch;
+
+  /// Fan-out of the TreeMulticast forwarding tree (k-ary, k >= 1).
+  std::size_t mcast_tree_fanout = 2;
+
   /// Link rate of each node's switched full-duplex port, bytes per second.
   /// 100 Mbps = 12.5 MB/s.
   double link_bytes_per_sec = 12.5e6;

@@ -5,29 +5,27 @@
 namespace repseq::net {
 
 Network::Network(sim::Engine& eng, NetConfig cfg, std::size_t nodes)
-    : eng_(eng),
-      cfg_(cfg),
-      switch_(eng, cfg_, nodes),
-      hub_(eng, cfg_),
-      loss_rng_(cfg.loss_seed) {
+    : eng_(eng), cfg_(cfg), loss_rng_(cfg.loss_seed) {
   REPSEQ_CHECK(nodes >= 1, "network needs at least one node");
   nics_.reserve(nodes);
   for (std::size_t n = 0; n < nodes; ++n) {
     nics_.push_back(std::make_unique<Nic>(eng_, cfg_, static_cast<NodeId>(n)));
   }
+  transport_ = make_transport(eng_, cfg_, nics_);
 }
 
-void Network::deliver_at(sim::SimTime t, NodeId dst, const Message& msg) {
+bool Network::deliver_at(sim::SimTime t, NodeId dst, const Message& msg) {
   if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
       loss_rng_.chance(cfg_.loss_probability)) {
     ++losses_injected_;
-    return;
+    return false;
   }
   eng_.schedule_at(t, [this, dst, msg] {
     if (nics_[dst]->deliver(msg)) {
       ++deliveries_;
     }
   });
+  return true;
 }
 
 std::uint64_t Network::unicast(Message msg) {
@@ -40,9 +38,11 @@ std::uint64_t Network::unicast(Message msg) {
   bytes_sent_ += wire;
   if (tap_) tap_(msg, wire, /*is_multicast=*/false);
 
-  const sim::SimTime at_switch = nics_[msg.src]->reserve_uplink(wire) + cfg_.hop_latency;
-  const sim::SimTime at_dst = switch_.forward(msg.dst, wire, at_switch);
-  deliver_at(at_dst, msg.dst, msg);
+  const sim::SimTime sent = eng_.now();
+  transport_->unicast(msg, wire, [&](NodeId dst, sim::SimTime at) {
+    REPSEQ_CHECK(at >= sent, "transport delivered into the past");
+    return deliver_at(at, dst, msg);
+  });
   return msg.id;
 }
 
@@ -51,31 +51,42 @@ std::uint64_t Network::multicast(Message msg) {
   msg.dst = kMulticastDst;
   msg.id = next_id_++;
   const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
-  // A multicast frame is one message on the wire regardless of group size
-  // (paper: "each multicast message is counted as a single message").
-  ++messages_sent_;
-  bytes_sent_ += wire;
   if (tap_) tap_(msg, wire, /*is_multicast=*/true);
 
-  const sim::SimTime done = hub_.transmit(wire, eng_.now());
-  // One simulation event delivers the frame to every member (the hub
-  // reaches all receivers simultaneously); loss is still per receiver.
-  std::vector<NodeId> receivers;
-  receivers.reserve(nics_.size() - 1);
-  for (NodeId n = 0; n < nics_.size(); ++n) {
-    if (n == msg.src) continue;  // sender consumes its own data locally
-    if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
-        loss_rng_.chance(cfg_.loss_probability)) {
-      ++losses_injected_;
-      continue;
-    }
-    receivers.push_back(n);
+  const sim::SimTime sent = eng_.now();
+  // Frame accounting is backend-dependent: a true multicast medium carries
+  // one frame regardless of group size (paper: "each multicast message is
+  // counted as a single message"); unicast-composed backends pay per edge
+  // actually transmitted (loss can prune a forwarding tree's subtrees).
+  std::vector<std::pair<sim::SimTime, NodeId>> sched;
+  const std::size_t frames =
+      transport_->multicast(msg, wire, [&](NodeId dst, sim::SimTime at) {
+        REPSEQ_CHECK(at >= sent, "transport delivered into the past");
+        if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
+            loss_rng_.chance(cfg_.loss_probability)) {
+          ++losses_injected_;
+          return false;
+        }
+        sched.emplace_back(at, dst);
+        return true;
+      });
+  messages_sent_ += frames;
+  bytes_sent_ += frames * wire;
+  // One simulation event per run of equal delivery times: the hub reaches
+  // every receiver simultaneously, so its group send stays a single event.
+  for (std::size_t i = 0; i < sched.size();) {
+    std::size_t j = i;
+    while (j < sched.size() && sched[j].first == sched[i].first) ++j;
+    std::vector<NodeId> group;
+    group.reserve(j - i);
+    for (std::size_t g = i; g < j; ++g) group.push_back(sched[g].second);
+    eng_.schedule_at(sched[i].first, [this, group = std::move(group), msg] {
+      for (NodeId n : group) {
+        if (nics_[n]->deliver(msg)) ++deliveries_;
+      }
+    });
+    i = j;
   }
-  eng_.schedule_at(done, [this, receivers = std::move(receivers), msg] {
-    for (NodeId n : receivers) {
-      if (nics_[n]->deliver(msg)) ++deliveries_;
-    }
-  });
   return msg.id;
 }
 

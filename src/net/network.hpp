@@ -1,8 +1,9 @@
-// The cluster network facade: unicast rides the switch, multicast rides the
-// hub, deliveries land in per-node NIC inboxes.  All wire-time modeling is
-// here; CPU costs (send/receive software overheads) are charged by the
-// protocol layer against the node CPUs so that they interact correctly with
-// the interrupt model.
+// The cluster network facade: assigns message ids, keeps byte/message
+// accounting, injects loss, and lands deliveries in per-node NIC inboxes.
+// All wire-time modeling lives in the pluggable Transport backend selected
+// by NetConfig::transport; CPU costs (send/receive software overheads) are
+// charged by the protocol layer against the node CPUs so that they interact
+// correctly with the interrupt model.
 #pragma once
 
 #include <cstdint>
@@ -10,11 +11,10 @@
 #include <memory>
 #include <vector>
 
-#include "net/hub.hpp"
 #include "net/message.hpp"
 #include "net/net_config.hpp"
 #include "net/nic.hpp"
-#include "net/switch_fabric.hpp"
+#include "net/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -27,16 +27,21 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  /// Sends point-to-point via the switch.  Returns the assigned message id.
+  /// Sends point-to-point.  Returns the assigned message id.
   /// Must be called from a fiber of the source node (timing uses `now`).
   std::uint64_t unicast(Message msg);
 
-  /// Sends to every *other* node via the hub (single multicast group).
+  /// Sends to every *other* node (single multicast group).
   std::uint64_t multicast(Message msg);
 
   [[nodiscard]] Nic& nic(NodeId n) { return *nics_[n]; }
   [[nodiscard]] std::size_t node_count() const { return nics_.size(); }
   [[nodiscard]] const NetConfig& config() const { return cfg_; }
+
+  /// Frames the source node itself transmits for one group send.
+  [[nodiscard]] std::size_t multicast_sender_frames() const {
+    return nics_.size() > 1 ? transport_->sender_frames(nics_.size() - 1) : 1;
+  }
 
   /// Observability for tests and the benchmark harness.
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
@@ -57,13 +62,15 @@ class Network {
   void set_loss_filter(LossFilter f) { lossable_ = std::move(f); }
 
  private:
-  void deliver_at(sim::SimTime t, NodeId dst, const Message& msg);
+  /// Schedules delivery unless loss injection consumes the frame; returns
+  /// whether the frame survives (transports use this to prune forwarding
+  /// downstream of a lost frame).
+  bool deliver_at(sim::SimTime t, NodeId dst, const Message& msg);
 
   sim::Engine& eng_;
   NetConfig cfg_;
   std::vector<std::unique_ptr<Nic>> nics_;
-  SwitchFabric switch_;
-  Hub hub_;
+  std::unique_ptr<Transport> transport_;
   sim::Rng loss_rng_;
   SendTap tap_{};
   LossFilter lossable_{};

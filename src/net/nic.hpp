@@ -22,7 +22,13 @@ class Nic {
   /// Earliest time the uplink can begin transmitting a new frame, given
   /// frames already queued; reserves the link for `wire_bytes`.
   /// Returns the time the last byte leaves the NIC.
-  sim::SimTime reserve_uplink(std::size_t wire_bytes);
+  sim::SimTime reserve_uplink(std::size_t wire_bytes) {
+    return reserve_uplink(wire_bytes, eng_.now());
+  }
+
+  /// Same, but the transmission may not start before `ready` (forwarding
+  /// hops of software multicast reserve uplinks at future instants).
+  sim::SimTime reserve_uplink(std::size_t wire_bytes, sim::SimTime ready);
 
   /// Delivery at the receive ring.  Honors capacity; returns false (and
   /// counts a drop) when the ring is full.

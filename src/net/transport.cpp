@@ -1,0 +1,23 @@
+#include "net/transport.hpp"
+
+#include "net/direct_all_transport.hpp"
+#include "net/hub_switch_transport.hpp"
+#include "net/tree_multicast_transport.hpp"
+#include "util/check.hpp"
+
+namespace repseq::net {
+
+std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg,
+                                          std::vector<std::unique_ptr<Nic>>& nics) {
+  switch (cfg.transport) {
+    case TransportKind::HubSwitch:
+      return std::make_unique<HubSwitchTransport>(eng, cfg, nics);
+    case TransportKind::TreeMulticast:
+      return std::make_unique<TreeMulticastTransport>(eng, cfg, nics);
+    case TransportKind::DirectAll:
+      return std::make_unique<DirectAllTransport>(eng, cfg, nics);
+  }
+  REPSEQ_CHECK(false, "unknown transport kind");
+}
+
+}  // namespace repseq::net

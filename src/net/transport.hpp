@@ -1,0 +1,99 @@
+// The pluggable wire model.  A Transport owns all delivery-time modeling for
+// point-to-point and group sends; the Network facade owns everything else
+// (message ids, byte accounting, loss injection, taps, NIC inboxes).
+//
+// Contract: a transport computes, per receiver, the virtual time the frame's
+// last byte arrives at that receiver's NIC, and reports it through the
+// DeliverFn.  Delivery times are never earlier than the send instant, and a
+// group send reports each receiver at most once, in a deterministic order
+// (which keeps the loss-injection RNG sequence deterministic per backend).
+// The facade decides loss per reported delivery and returns the outcome, so
+// store-and-forward backends can model a lost frame cutting off everything
+// downstream of it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/net_config.hpp"
+#include "net/nic.hpp"
+#include "net/switch_fabric.hpp"
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+
+namespace repseq::net {
+
+/// Invoked by a transport once per receiver with the arrival time of the
+/// frame's last byte at that receiver's NIC.  Returns false when loss
+/// injection consumed the frame (the receiver never saw it).
+using DeliverFn = std::function<bool(NodeId dst, sim::SimTime at)>;
+
+class Transport {
+ public:
+  Transport(sim::Engine& eng, const NetConfig& cfg, std::vector<std::unique_ptr<Nic>>& nics)
+      : eng_(eng), cfg_(cfg), nics_(nics) {}
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Models the wire path of one point-to-point frame; calls `deliver`
+  /// exactly once, for msg.dst.
+  virtual void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver) = 0;
+
+  /// Models a group send to every node except msg.src; calls `deliver` at
+  /// most once per receiver (a store-and-forward backend skips receivers
+  /// cut off by an upstream loss), in a deterministic order.  Returns the
+  /// number of frames actually put on the wire: 1 for a true multicast
+  /// medium (the paper counts "each multicast message as a single
+  /// message"); unicast-composed backends pay per edge transmitted.
+  virtual std::size_t multicast(const Message& msg, std::size_t wire_bytes,
+                                const DeliverFn& deliver) = 0;
+
+  /// Frames the *source node itself* transmits for one group send -- what
+  /// its CPU is charged send overhead for.  1 on a multicast medium; the
+  /// fan-out strawman pays per receiver; a forwarding tree's root pays per
+  /// child (descendant forwarding costs are modeled as wire time only).
+  [[nodiscard]] virtual std::size_t sender_frames(std::size_t receivers) const {
+    (void)receivers;
+    return 1;
+  }
+
+ protected:
+  sim::Engine& eng_;
+  const NetConfig& cfg_;
+  std::vector<std::unique_ptr<Nic>>& nics_;
+};
+
+/// Common unicast path shared by every backend: the frame serializes on the
+/// source uplink, crosses the switch, and serializes again on the
+/// destination port (SwitchFabric).
+class SwitchedTransport : public Transport {
+ public:
+  SwitchedTransport(sim::Engine& eng, const NetConfig& cfg,
+                    std::vector<std::unique_ptr<Nic>>& nics)
+      : Transport(eng, cfg, nics), switch_(eng, cfg, nics.size()) {}
+
+  void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver) override {
+    deliver(msg.dst, forward_hop(msg.src, msg.dst, wire_bytes, eng_.now()));
+  }
+
+ protected:
+  /// One switched src->dst hop whose uplink transmission may not start
+  /// before `ready` (used by forwarding hops of software multicast).
+  sim::SimTime forward_hop(NodeId src, NodeId dst, std::size_t wire_bytes, sim::SimTime ready) {
+    const sim::SimTime at_switch =
+        nics_[src]->reserve_uplink(wire_bytes, ready) + cfg_.hop_latency;
+    return switch_.forward(dst, wire_bytes, at_switch);
+  }
+
+  SwitchFabric switch_;
+};
+
+/// Instantiates the backend selected by `cfg.transport`.
+std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg,
+                                          std::vector<std::unique_ptr<Nic>>& nics);
+
+}  // namespace repseq::net

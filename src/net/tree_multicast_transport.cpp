@@ -1,0 +1,46 @@
+#include "net/tree_multicast_transport.hpp"
+
+#include <algorithm>
+
+namespace repseq::net {
+
+std::size_t TreeMulticastTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                              const DeliverFn& deliver) {
+  const std::size_t n = nics_.size();
+  if (n <= 1) return 0;
+  const std::size_t k = std::max<std::size_t>(1, cfg_.mcast_tree_fanout);
+
+  const auto node_at = [&](std::size_t pos) {
+    return static_cast<NodeId>((msg.src + pos) % n);
+  };
+
+  // at[p]: time the node at tree position p holds the complete frame.
+  // Children are forwarded in position order, so an interior node's
+  // transmissions serialize on its own uplink after its receive time.
+  // Store-and-forward semantics: a node that lost its frame (deliver
+  // returned false) has nothing to forward, so its whole subtree is cut
+  // off -- exactly the failure mode a real software multicast tree has.
+  //
+  // Known approximation: all edge reservations are placed at send time,
+  // so an interior node's unrelated unicast issued during the propagation
+  // window queues behind a forward it has not yet received (instead of
+  // ahead of it).  Total uplink utilization is conserved; only the
+  // interleaving within that window can be misordered.  Exact modeling
+  // needs event-driven per-hop forwarding (see ROADMAP).
+  std::vector<sim::SimTime> at(n);
+  std::vector<char> reached(n, 0);
+  at[0] = eng_.now();
+  reached[0] = 1;
+  std::size_t frames = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!reached[p]) continue;
+    for (std::size_t c = k * p + 1; c <= k * p + k && c < n; ++c) {
+      at[c] = forward_hop(node_at(p), node_at(c), wire_bytes, at[p]);
+      ++frames;
+      reached[c] = deliver(node_at(c), at[c]) ? 1 : 0;
+    }
+  }
+  return frames;
+}
+
+}  // namespace repseq::net

@@ -1,0 +1,34 @@
+// Software multicast over the switch: the sender is the root of a k-ary
+// forwarding tree; every interior node re-transmits the frame to each of its
+// children as an ordinary switched unicast (uplink serialization + per-hop
+// latency).  This is the hand-inserted tree broadcast of paper Section 6.1.2
+// expressed as a transport, so any protocol can run over it.
+//
+// Tree layout: positions are assigned breadth-first (heap order), position 0
+// is the sender, and position p maps to node (src + p) mod N -- every sender
+// gets the same tree shape over a rotated node ordering, so no fixed node is
+// always a leaf.
+#pragma once
+
+#include <algorithm>
+
+#include "net/transport.hpp"
+
+namespace repseq::net {
+
+class TreeMulticastTransport final : public SwitchedTransport {
+ public:
+  TreeMulticastTransport(sim::Engine& eng, const NetConfig& cfg,
+                         std::vector<std::unique_ptr<Nic>>& nics)
+      : SwitchedTransport(eng, cfg, nics) {}
+
+  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
+                        const DeliverFn& deliver) override;
+
+  /// The root transmits only to its own children.
+  [[nodiscard]] std::size_t sender_frames(std::size_t receivers) const override {
+    return std::min(receivers, cfg_.mcast_tree_fanout > 0 ? cfg_.mcast_tree_fanout : 1);
+  }
+};
+
+}  // namespace repseq::net

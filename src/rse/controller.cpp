@@ -20,7 +20,16 @@ using tmk::PageProt;
 
 RseController::RseController(tmk::Cluster& cluster, FlowControl flow)
     : cluster_(cluster), flow_(flow), state_(cluster.node_count()) {
-  cluster_.set_rse_hooks(this);
+  cluster_.set_rse_hooks(this);  // registers this variant's handler set
+}
+
+void RseController::begin_round(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
+                                bool on_server) {
+  if (flow_ == FlowControl::Chained) {
+    chain_begin_chained(rt, req, on_server);
+  } else {
+    begin_concurrent(rt, req, on_server);
+  }
 }
 
 tmk::ValidNoticesP RseController::local_valid_notices(tmk::NodeRuntime& rt) const {
@@ -170,7 +179,7 @@ void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
       // serialization at the master, holders reply immediately.
       tmk::McastDiffRequestP req{0, page, rt.id(), std::move(wanted)};
       rt.send_multicast(MsgKind::McastDiffRequest, req, /*on_server=*/false);
-      chain_begin(rt, req, /*on_server=*/false);
+      begin_round(rt, req, /*on_server=*/false);
     } else {
       tmk::McastRequestFwdP fwd{page, rt.id(), std::move(wanted)};
       if (rt.is_master()) {
@@ -227,7 +236,7 @@ void RseController::master_start_next(tmk::NodeRuntime& master, bool on_server) 
     for (const auto& [owner, _] : req.wanted) ms.awaiting_replies.push_back(owner);
   }
   master.send_multicast(MsgKind::McastDiffRequest, req, on_server);
-  chain_begin(master, req, on_server);  // the master never receives its own frame
+  begin_round(master, req, on_server);  // the master never receives its own frame
 
   // Watchdog: a lost frame stalls the ack chain (and with it the round
   // queue) indefinitely.  If this round is still in flight when the tick
@@ -255,50 +264,50 @@ void RseController::master_round_finished(tmk::NodeRuntime& master, bool on_serv
   master_start_next(master, on_server);
 }
 
-void RseController::chain_begin(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
-                                bool on_server) {
+void RseController::chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
+                                        bool on_server) {
   NodeState& st = state_[rt.id()];
+  st.round = req.round;
+  st.round_page = req.page;
+  st.round_wanted = req.wanted;
+  st.next_sender = 0;
+  // Frames of this round that overtook its request on a non-FIFO transport
+  // were parked in early_frames; replay them after the round state is set
+  // up.  Everything at or below this round number is settled either way.
+  std::set<net::NodeId> replay;
+  if (auto it = st.early_frames.find(req.round); it != st.early_frames.end()) {
+    replay = std::move(it->second);
+  }
+  st.early_frames.erase(st.early_frames.begin(), st.early_frames.upper_bound(req.round));
+  while (st.next_sender == rt.id()) {
+    chain_send_own(rt, on_server);
+  }
+  for (net::NodeId s : replay) {
+    chain_observe(rt, s, on_server);
+  }
+  if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
+    master_round_finished(rt, on_server);
+  }
+}
+
+void RseController::begin_concurrent(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
+                                     bool on_server) {
+  // Concurrent replies: every holder answers immediately.
+  NodeState& st = state_[rt.id()];
+  st.round = req.round;
+  st.round_page = req.page;
+  st.round_wanted = req.wanted;
   const bool i_hold = std::any_of(req.wanted.begin(), req.wanted.end(),
                                   [&](const auto& w) { return w.first == rt.id(); });
-  switch (flow_) {
-    case FlowControl::Chained: {
-      st.round = req.round;
-      st.round_page = req.page;
-      st.round_wanted = req.wanted;
-      st.next_sender = 0;
-      while (st.next_sender == rt.id()) {
-        chain_send_own(rt, on_server);
-      }
-      if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
-        master_round_finished(rt, on_server);
-      }
-      break;
-    }
-    case FlowControl::Windowed:
-    case FlowControl::None: {
-      // Concurrent replies: every holder answers immediately.
-      st.round = req.round;
-      st.round_page = req.page;
-      st.round_wanted = req.wanted;
-      if (i_hold) {
-        auto it = std::find_if(req.wanted.begin(), req.wanted.end(),
-                               [&](const auto& w) { return w.first == rt.id(); });
-        std::vector<tmk::DiffPacket> packets =
-            rt.collect_diffs(req.page, it->second, on_server);
-        rt.send_multicast(
-            MsgKind::McastDiffReply,
-            tmk::McastDiffReplyP{req.round, req.page, rt.id(), std::move(packets)}, on_server);
-        if (flow_ == FlowControl::Windowed && rt.is_master()) {
-          std::erase(state_[0].awaiting_replies, rt.id());
-          if (state_[0].awaiting_replies.empty()) master_round_finished(rt, on_server);
-        }
-      }
-      break;
+  if (i_hold) {
+    send_own_frame(rt, on_server);
+    if (flow_ == FlowControl::Windowed && rt.is_master()) {
+      window_retire(rt, rt.id(), req.round, on_server);
     }
   }
 }
 
-void RseController::chain_send_own(tmk::NodeRuntime& rt, bool on_server) {
+void RseController::send_own_frame(tmk::NodeRuntime& rt, bool on_server) {
   NodeState& st = state_[rt.id()];
   auto it = std::find_if(st.round_wanted.begin(), st.round_wanted.end(),
                          [&](const auto& w) { return w.first == rt.id(); });
@@ -312,22 +321,43 @@ void RseController::chain_send_own(tmk::NodeRuntime& rt, bool on_server) {
     rt.send_multicast(MsgKind::McastNullAck,
                       tmk::McastNullAckP{st.round, st.round_page, rt.id()}, on_server);
   }
-  ++st.next_sender;
+}
+
+void RseController::chain_send_own(tmk::NodeRuntime& rt, bool on_server) {
+  send_own_frame(rt, on_server);
+  ++state_[rt.id()].next_sender;
 }
 
 void RseController::chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server) {
   NodeState& st = state_[rt.id()];
-  // Without loss, frames arrive strictly in thread-id order (the hub is
-  // FIFO).  A gap means a lost frame: skip over it -- the requester's
-  // timeout recovery repairs any missing diffs.
+  // On the FIFO hub, frames arrive strictly in thread-id order without
+  // loss.  A gap means a lost frame (skip over it; the requester's timeout
+  // recovery repairs any missing diffs) or, on a non-FIFO transport such as
+  // the multicast tree, frames overtaking each other on paths of different
+  // depth.  Either way this node's own slot may be jumped: send its frame
+  // late so holders' diffs still reach the group.
   if (sender < st.next_sender) return;  // duplicate or stale
+  const bool own_turn_skipped = st.next_sender <= rt.id() && rt.id() < sender;
   st.next_sender = sender + 1;
+  if (own_turn_skipped) {
+    send_own_frame(rt, on_server);
+  }
   while (st.next_sender == rt.id()) {
     chain_send_own(rt, on_server);
   }
   if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
     master_round_finished(rt, on_server);
   }
+}
+
+void RseController::window_retire(tmk::NodeRuntime& rt, net::NodeId sender, std::uint64_t round,
+                                  bool on_server) {
+  NodeState& ms = state_[0];
+  // A reply from a watchdog-abandoned round must not shrink the successor
+  // round's window.
+  if (!ms.round_in_flight || round != ms.active_round) return;
+  std::erase(ms.awaiting_replies, sender);
+  if (ms.awaiting_replies.empty()) master_round_finished(rt, on_server);
 }
 
 void RseController::apply_mcast_packets(tmk::NodeRuntime& rt,
@@ -342,80 +372,99 @@ void RseController::apply_mcast_packets(tmk::NodeRuntime& rt,
   if (!relevant.empty()) rt.apply_packets_causally(std::move(relevant), on_server);
 }
 
-bool RseController::on_message(tmk::NodeRuntime& rt, const net::Message& msg) {
-  NodeState& st = state_[rt.id()];
-  switch (tmk::kind_of(msg)) {
-    case MsgKind::ValidNotices: {
-      REPSEQ_CHECK(rt.is_master(), "valid notices routed to non-master");
-      NodeState& ms = state_[0];
-      if (ms.gathering.size() != cluster_.node_count()) {
-        ms.gathering.resize(cluster_.node_count());
-      }
-      ms.gathering[msg.src] = msg.as<tmk::ValidNoticesP>();
-      ++ms.notices_collected;
-      if (ms.notices_collected == cluster_.node_count() - 1 &&
-          ms.master_gather_waiter != nullptr) {
-        ms.master_gather_waiter->signal();
-      }
-      return true;
+void RseController::register_handlers(tmk::ProtocolEngine& engine) {
+  // ---- handlers common to every flow-control variant ----
+
+  engine.on(MsgKind::ValidNotices, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+    REPSEQ_CHECK(rt.is_master(), "valid notices routed to non-master");
+    NodeState& ms = state_[0];
+    if (ms.gathering.size() != cluster_.node_count()) {
+      ms.gathering.resize(cluster_.node_count());
     }
-    case MsgKind::ValidTable: {
-      st.table = msg.as<tmk::ValidTableP>().per_node;
-      if (st.table_waiter != nullptr) st.table_waiter->signal();
-      return true;
+    ms.gathering[msg.src] = msg.as<tmk::ValidNoticesP>();
+    ++ms.notices_collected;
+    if (ms.notices_collected == cluster_.node_count() - 1 && ms.master_gather_waiter != nullptr) {
+      ms.master_gather_waiter->signal();
     }
-    case MsgKind::McastRequestFwd: {
-      REPSEQ_CHECK(rt.is_master(), "forwarded request routed to non-master");
-      master_enqueue(rt, msg.as<tmk::McastRequestFwdP>(), /*on_server=*/true);
-      return true;
-    }
-    case MsgKind::McastDiffRequest: {
-      chain_begin(rt, msg.as<tmk::McastDiffRequestP>(), /*on_server=*/true);
-      return true;
-    }
-    case MsgKind::McastDiffReply: {
-      const auto& r = msg.as<tmk::McastDiffReplyP>();
-      apply_mcast_packets(rt, r.packets, /*on_server=*/true);
-      if (r.round != 0) {
-        if (flow_ == FlowControl::Chained && r.round == st.round) {
-          chain_observe(rt, r.sender, /*on_server=*/true);
-        } else if (flow_ == FlowControl::Windowed && rt.is_master() &&
-                   state_[0].round_in_flight) {
-          std::erase(state_[0].awaiting_replies, r.sender);
-          if (state_[0].awaiting_replies.empty()) {
-            master_round_finished(rt, /*on_server=*/true);
+  });
+  engine.on(MsgKind::ValidTable, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+    NodeState& st = state_[rt.id()];
+    st.table = msg.as<tmk::ValidTableP>().per_node;
+    if (st.table_waiter != nullptr) st.table_waiter->signal();
+  });
+  engine.on(MsgKind::McastDiffRequest, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+    begin_round(rt, msg.as<tmk::McastDiffRequestP>(), /*on_server=*/true);
+  });
+  engine.on(MsgKind::RecoverRequest, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+    const auto& r = msg.as<tmk::RecoverRequestP>();
+    std::vector<tmk::DiffPacket> packets = rt.collect_diffs(r.page, r.intervals,
+                                                            /*on_server=*/true);
+    rt.send_multicast(MsgKind::McastDiffReply,
+                      tmk::McastDiffReplyP{0, r.page, rt.id(), std::move(packets)},
+                      /*on_server=*/true);
+  });
+
+  // ---- per-variant handler sets ----
+
+  switch (flow_) {
+    case FlowControl::Chained:
+      engine.on(MsgKind::McastDiffReply, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+        const auto& r = msg.as<tmk::McastDiffReplyP>();
+        apply_mcast_packets(rt, r.packets, /*on_server=*/true);
+        if (r.round != 0) {
+          NodeState& st = state_[rt.id()];
+          if (r.round == st.round) {
+            chain_observe(rt, r.sender, /*on_server=*/true);
+          } else if (r.round > st.round) {
+            // Overtook its own round's request (non-FIFO transport); park
+            // for replay when that request arrives.
+            st.early_frames[r.round].insert(r.sender);
           }
         }
-      }
-      return true;
-    }
-    case MsgKind::McastNullAck: {
-      const auto& a = msg.as<tmk::McastNullAckP>();
-      if (flow_ == FlowControl::Chained && a.round == st.round) {
-        chain_observe(rt, a.sender, /*on_server=*/true);
-      }
-      return true;
-    }
-    case MsgKind::RecoverRequest: {
-      const auto& r = msg.as<tmk::RecoverRequestP>();
-      std::vector<tmk::DiffPacket> packets = rt.collect_diffs(r.page, r.intervals,
-                                                              /*on_server=*/true);
-      rt.send_multicast(MsgKind::McastDiffReply,
-                        tmk::McastDiffReplyP{0, r.page, rt.id(), std::move(packets)},
-                        /*on_server=*/true);
-      return true;
-    }
-    case MsgKind::RseRoundTick: {
+      });
+      engine.on(MsgKind::McastNullAck, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+        const auto& a = msg.as<tmk::McastNullAckP>();
+        NodeState& st = state_[rt.id()];
+        if (a.round == st.round) {
+          chain_observe(rt, a.sender, /*on_server=*/true);
+        } else if (a.round > st.round) {
+          st.early_frames[a.round].insert(a.sender);
+        }
+      });
+      break;
+    case FlowControl::Windowed:
+      engine.on(MsgKind::McastDiffReply, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+        const auto& r = msg.as<tmk::McastDiffReplyP>();
+        apply_mcast_packets(rt, r.packets, /*on_server=*/true);
+        if (r.round != 0 && rt.is_master()) {
+          window_retire(rt, r.sender, r.round, /*on_server=*/true);
+        }
+      });
+      break;
+    case FlowControl::None:
+      // No rounds, no acks: replies carry diffs and nothing else.
+      engine.on(MsgKind::McastDiffReply, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+        apply_mcast_packets(rt, msg.as<tmk::McastDiffReplyP>().packets, /*on_server=*/true);
+      });
+      break;
+  }
+
+  // Round serialization at the master exists only for the variants that
+  // forward requests there (Section 5.4.2's protocol and its windowed
+  // relaxation); the None strawman multicasts requests directly.
+  if (flow_ != FlowControl::None) {
+    engine.on(MsgKind::McastRequestFwd, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
+      REPSEQ_CHECK(rt.is_master(), "forwarded request routed to non-master");
+      master_enqueue(rt, msg.as<tmk::McastRequestFwdP>(), /*on_server=*/true);
+    });
+    engine.on(MsgKind::RseRoundTick, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
       REPSEQ_CHECK(rt.is_master(), "round tick on non-master");
       NodeState& ms = state_[0];
       const auto& tick = msg.as<tmk::RseRoundTickP>();
       if (ms.round_in_flight && ms.active_round == tick.round) {
         master_round_finished(rt, /*on_server=*/true);
       }
-      return true;
-    }
-    default:
-      return false;
+    });
   }
 }
 

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "tmk/runtime.hpp"
@@ -48,7 +50,11 @@ class RseController final : public tmk::RseHooks {
 
   // --- RseHooks (dispatcher + fault integration) ---
   void on_fault(tmk::NodeRuntime& rt, tmk::PageId page) override;
-  bool on_message(tmk::NodeRuntime& rt, const net::Message& msg) override;
+  /// Registers the handler set for the configured FlowControl variant.
+  /// Chained registers the full round/ack-chain machinery; Windowed drops
+  /// the null-ack chain in favor of a master-side reply window; None
+  /// registers only the request/reply pair (no rounds, no acks).
+  void register_handlers(tmk::ProtocolEngine& engine) override;
 
   /// Total virtual time nodes spent inside the valid-notice exchange
   /// (reported in Section 6 as part of the overhead decomposition).
@@ -70,6 +76,10 @@ class RseController final : public tmk::RseHooks {
     tmk::PageId round_page = 0;
     tmk::WantedByOwner round_wanted;
     net::NodeId next_sender = 0;
+    /// Reply/ack frames observed for rounds this node has not started yet
+    /// (a non-FIFO transport can deliver a reply before its request);
+    /// replayed when the round's request arrives, pruned at round start.
+    std::map<std::uint64_t, std::set<net::NodeId>> early_frames;
 
     // ---- master-only round serialization ----
     std::deque<tmk::McastDiffRequestP> queue;
@@ -102,12 +112,23 @@ class RseController final : public tmk::RseHooks {
   void master_start_next(tmk::NodeRuntime& master, bool on_server);
   void master_round_finished(tmk::NodeRuntime& master, bool on_server);
 
-  /// Begins chain processing for a multicast request at node `rt`.
-  void chain_begin(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req, bool on_server);
+  /// Round entry at node `rt` (on multicast-request receipt, or locally at
+  /// the sender): Chained walks the ack chain, Windowed/None reply
+  /// immediately when holding requested diffs.
+  void begin_round(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req, bool on_server);
+  void chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
+                           bool on_server);
+  void begin_concurrent(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req, bool on_server);
   /// Advances the ack chain after `sender`'s frame was observed.
   void chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server);
-  /// Sends this node's frame (diffs or null ack) when it is its turn.
+  /// Sends this node's frame (diffs or null ack) for the current round.
+  void send_own_frame(tmk::NodeRuntime& rt, bool on_server);
+  /// send_own_frame at this node's chain turn; advances the turn counter.
   void chain_send_own(tmk::NodeRuntime& rt, bool on_server);
+  /// Windowed: retire `sender`'s reply for `round` from the master's
+  /// window (ignores replies of abandoned rounds).
+  void window_retire(tmk::NodeRuntime& rt, net::NodeId sender, std::uint64_t round,
+                     bool on_server);
 
   /// Applies multicast diff packets if (and only if) this node still misses
   /// them; valid pages are never overwritten (their replicated writes may

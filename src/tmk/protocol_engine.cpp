@@ -1,0 +1,21 @@
+#include "tmk/protocol_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace repseq::tmk {
+
+void ProtocolEngine::on(MsgKind kind, Handler h) {
+  const auto key = static_cast<std::uint32_t>(kind);
+  REPSEQ_CHECK(!handlers_.contains(key),
+               "duplicate handler registration for message kind " + std::to_string(key));
+  handlers_.emplace(key, std::move(h));
+}
+
+bool ProtocolEngine::dispatch(NodeRuntime& rt, const net::Message& msg) const {
+  auto it = handlers_.find(msg.kind);
+  if (it == handlers_.end()) return false;
+  it->second(rt, msg);
+  return true;
+}
+
+}  // namespace repseq::tmk

@@ -477,23 +477,35 @@ void NodeRuntime::send_raw_unicast(net::Message msg, bool on_server) {
 }
 
 void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
-  const auto& ncfg = cluster_.network().config();
-  const std::size_t wire = ncfg.wire_bytes(msg.payload_bytes);
-  PhaseCounters& c = stats_.for_phase(cluster_.phase());
-  ++c.msgs_sent;
-  c.bytes_sent += wire;
-  if (is_diff_traffic(kind_of(msg))) {
-    ++c.diff_msgs_sent;
-    c.diff_bytes_sent += wire;
-  }
-  if (kind_of(msg) == MsgKind::McastNullAck) ++c.null_acks_sent;
+  net::Network& nw = cluster_.network();
+  const auto& ncfg = nw.config();
+  const MsgKind kind = kind_of(msg);
+  // The sending CPU pays software send overhead per frame it transmits
+  // itself (one on the hub; its own children on the tree; every frame in
+  // the fan-out strawman).  Receiver-side loss never refunds CPU time.
+  const auto sender_frames = static_cast<std::int64_t>(nw.multicast_sender_frames());
   if (on_server) {
-    cpu_.service(ncfg.send_overhead);
+    cpu_.service(ncfg.send_overhead * sender_frames);
   } else {
     cpu_.flush();
-    cpu_.compute(ncfg.send_overhead);
+    cpu_.compute(ncfg.send_overhead * sender_frames);
   }
-  cluster_.network().multicast(std::move(msg));
+  // Wire accounting follows the backend: charge this node's phase counters
+  // with the frames/bytes the transport actually put on the wire (loss can
+  // prune a forwarding tree, so the nominal per-edge count can overshoot).
+  const std::uint64_t msgs_before = nw.messages_sent();
+  const std::uint64_t bytes_before = nw.bytes_sent();
+  nw.multicast(std::move(msg));
+  const std::uint64_t wire_frames = nw.messages_sent() - msgs_before;
+  const std::uint64_t wire_bytes = nw.bytes_sent() - bytes_before;
+  PhaseCounters& c = stats_.for_phase(cluster_.phase());
+  c.msgs_sent += wire_frames;
+  c.bytes_sent += wire_bytes;
+  if (is_diff_traffic(kind)) {
+    c.diff_msgs_sent += wire_frames;
+    c.diff_bytes_sent += wire_bytes;
+  }
+  if (kind == MsgKind::McastNullAck) ++c.null_acks_sent;
 }
 
 // ---------------------------------------------------------------------------
@@ -737,60 +749,56 @@ void NodeRuntime::dispatcher_loop() {
 }
 
 void NodeRuntime::handle_message(const net::Message& msg) {
-  if (rse_hooks() != nullptr && rse_hooks()->on_message(*this, msg)) return;
-  switch (kind_of(msg)) {
-    case MsgKind::DiffRequest:
-      handle_diff_request(msg);
-      break;
-    case MsgKind::DiffReply: {
-      auto it = reply_slots_.find(msg.as<DiffReplyP>().req_id);
-      if (it != reply_slots_.end()) it->second->push(msg);
-      break;  // stale replies after retransmission are dropped
-    }
-    case MsgKind::LockAcquire: {
-      manager_acquire(msg.src, msg.as<LockAcquireP>(), /*on_server=*/true);
-      break;
-    }
-    case MsgKind::LockForward: {
-      const auto& f = msg.as<LockForwardP>();
-      releaser_grant(f.acquirer, f.req_id, f.lock, f.vc, /*on_server=*/true);
-      break;
-    }
-    case MsgKind::LockRelease:
-      manager_release(msg.src, msg.as<LockReleaseP>().lock, /*on_server=*/true);
-      break;
-    case MsgKind::LockGrant:
-      receive_grant(msg);
-      break;
-    case MsgKind::BarrierArrive:
-      handle_barrier_arrive(msg);
-      break;
-    case MsgKind::BarrierDepart:
-      depart_ch_.push(msg);
-      break;
-    case MsgKind::Fork:
-      fork_ch_.push(msg);
-      break;
-    case MsgKind::Join:
-      join_ch_.push(msg);
-      break;
-    case MsgKind::BcastUpdate: {
-      // Push-style section broadcast (Sections 4.2 / 6.1.2 alternatives):
-      // log+invalidate the notices, then apply their diffs immediately.
-      const auto& u = msg.as<BcastUpdateP>();
-      for (const IntervalRecordPtr& rec : u.records) apply_notice(rec, /*on_server=*/true);
-      apply_packets_causally(u.packets, /*on_server=*/true);
-      send_unicast(MsgKind::BcastAck, msg.src, BcastAckP{u.req_id}, /*on_server=*/true);
-      break;
-    }
-    case MsgKind::BcastAck: {
-      auto it = reply_slots_.find(msg.as<BcastAckP>().req_id);
-      if (it != reply_slots_.end()) it->second->push(msg);
-      break;
-    }
-    default:
-      REPSEQ_CHECK(false, "unhandled message kind " + std::to_string(msg.kind));
-  }
+  REPSEQ_CHECK(cluster_.protocol().dispatch(*this, msg),
+               "unhandled message kind " + std::to_string(msg.kind));
+}
+
+void NodeRuntime::register_base_protocol(ProtocolEngine& engine) {
+  engine.on(MsgKind::DiffRequest, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.handle_diff_request(msg);
+  });
+  engine.on(MsgKind::DiffReply, [](NodeRuntime& rt, const net::Message& msg) {
+    // Stale replies after retransmission are dropped.
+    auto it = rt.reply_slots_.find(msg.as<DiffReplyP>().req_id);
+    if (it != rt.reply_slots_.end()) it->second->push(msg);
+  });
+  engine.on(MsgKind::LockAcquire, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.manager_acquire(msg.src, msg.as<LockAcquireP>(), /*on_server=*/true);
+  });
+  engine.on(MsgKind::LockForward, [](NodeRuntime& rt, const net::Message& msg) {
+    const auto& f = msg.as<LockForwardP>();
+    rt.releaser_grant(f.acquirer, f.req_id, f.lock, f.vc, /*on_server=*/true);
+  });
+  engine.on(MsgKind::LockRelease, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.manager_release(msg.src, msg.as<LockReleaseP>().lock, /*on_server=*/true);
+  });
+  engine.on(MsgKind::LockGrant, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.receive_grant(msg);
+  });
+  engine.on(MsgKind::BarrierArrive, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.handle_barrier_arrive(msg);
+  });
+  engine.on(MsgKind::BarrierDepart, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.depart_ch_.push(msg);
+  });
+  engine.on(MsgKind::Fork, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.fork_ch_.push(msg);
+  });
+  engine.on(MsgKind::Join, [](NodeRuntime& rt, const net::Message& msg) {
+    rt.join_ch_.push(msg);
+  });
+  engine.on(MsgKind::BcastUpdate, [](NodeRuntime& rt, const net::Message& msg) {
+    // Push-style section broadcast (Sections 4.2 / 6.1.2 alternatives):
+    // log+invalidate the notices, then apply their diffs immediately.
+    const auto& u = msg.as<BcastUpdateP>();
+    for (const IntervalRecordPtr& rec : u.records) rt.apply_notice(rec, /*on_server=*/true);
+    rt.apply_packets_causally(u.packets, /*on_server=*/true);
+    rt.send_unicast(MsgKind::BcastAck, msg.src, BcastAckP{u.req_id}, /*on_server=*/true);
+  });
+  engine.on(MsgKind::BcastAck, [](NodeRuntime& rt, const net::Message& msg) {
+    auto it = rt.reply_slots_.find(msg.as<BcastAckP>().req_id);
+    if (it != rt.reply_slots_.end()) it->second->push(msg);
+  });
 }
 
 void NodeRuntime::handle_diff_request(const net::Message& msg) {
@@ -808,6 +816,7 @@ Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
     : cfg_(cfg), node_count_(nodes), heap_(cfg.heap_bytes) {
   REPSEQ_CHECK(nodes >= 1, "cluster needs at least one node");
   REPSEQ_CHECK(cfg_.heap_bytes % cfg_.page_bytes == 0, "heap must be whole pages");
+  NodeRuntime::register_base_protocol(protocol_);
   network_ = std::make_unique<net::Network>(engine_, net_cfg, nodes);
   // Loss injection exercises the diff-request recovery paths; the
   // synchronization messages (fork/join/barrier/lock) are modeled as
@@ -820,6 +829,12 @@ Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::set_rse_hooks(RseHooks* hooks) {
+  REPSEQ_CHECK(rse_hooks_ == nullptr, "RSE hooks already attached to this cluster");
+  rse_hooks_ = hooks;
+  if (hooks != nullptr) hooks->register_handlers(protocol_);
+}
 
 std::uint64_t Cluster::register_work(std::function<void(NodeRuntime&)> fn) {
   work_table_.push_back(std::move(fn));

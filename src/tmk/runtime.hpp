@@ -34,6 +34,7 @@
 #include "tmk/interval.hpp"
 #include "tmk/page.hpp"
 #include "tmk/protocol.hpp"
+#include "tmk/protocol_engine.hpp"
 #include "tmk/shared_heap.hpp"
 #include "tmk/stats.hpp"
 #include "tmk/vector_clock.hpp"
@@ -45,16 +46,17 @@ class NodeRuntime;
 
 /// Hook interface for the replicated-sequential-execution engine
 /// (implemented in src/rse).  While a node is inside a replicated
-/// sequential section, page faults and the multicast message kinds are
-/// delegated here instead of to the base protocol.
+/// sequential section, page faults are delegated here instead of to the
+/// base protocol, and the engine's message kinds are serviced by the
+/// handlers it registers with the cluster's ProtocolEngine on attach.
 class RseHooks {
  public:
   virtual ~RseHooks() = default;
   /// Handles a fault on `page` during replicated execution (app fiber).
   virtual void on_fault(NodeRuntime& node, PageId page) = 0;
-  /// Handles an RSE protocol message (dispatcher fiber).  Returns true when
-  /// the message was consumed.
-  virtual bool on_message(NodeRuntime& node, const net::Message& msg) = 0;
+  /// Registers this engine's message handlers (one per kind it owns;
+  /// called once, when the hooks attach to the cluster).
+  virtual void register_handlers(ProtocolEngine& engine) = 0;
 };
 
 class NodeRuntime {
@@ -198,6 +200,10 @@ class NodeRuntime {
   /// The dispatcher fiber body (spawned by Cluster).
   void dispatcher_loop();
 
+  /// Registers the base TreadMarks protocol's message handlers (one per
+  /// MsgKind) with the cluster's dispatch registry.
+  static void register_base_protocol(ProtocolEngine& engine);
+
  private:
   friend class Cluster;
 
@@ -300,9 +306,14 @@ class Cluster {
   /// Aggregate statistics over all nodes.
   [[nodiscard]] PhaseCounters total(Phase p) const;
 
-  /// The RSE engine attachment point (one controller per cluster).
-  void set_rse_hooks(RseHooks* hooks) { rse_hooks_ = hooks; }
+  /// The RSE engine attachment point (one controller per cluster).  The
+  /// hooks' message handlers are registered with the dispatch registry on
+  /// attach; a second attachment would double-register and aborts.
+  void set_rse_hooks(RseHooks* hooks);
   [[nodiscard]] RseHooks* rse_hooks() const { return rse_hooks_; }
+
+  /// The message-dispatch registry serving every node's request server.
+  [[nodiscard]] ProtocolEngine& protocol() { return protocol_; }
 
   /// The runtime owning the calling fiber (application or dispatcher).
   static NodeRuntime& current();
@@ -315,6 +326,7 @@ class Cluster {
   SharedHeap heap_;
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<std::function<void(NodeRuntime&)>> work_table_;
+  ProtocolEngine protocol_;
   Phase phase_ = Phase::Sequential;
   RseHooks* rse_hooks_ = nullptr;
   bool ran_ = false;

@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "apps/harness/run_modes.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
 namespace repseq::net {
 namespace {
+
+constexpr TransportKind kAllTransports[] = {
+    TransportKind::HubSwitch, TransportKind::TreeMulticast, TransportKind::DirectAll};
 
 Message make_msg(NodeId src, NodeId dst, std::size_t bytes, std::uint32_t kind = 0) {
   Message m;
@@ -180,6 +186,180 @@ TEST(Network, SendTapObservesTraffic) {
   EXPECT_EQ(tapped_mcast, 1);
 }
 
+TEST(Transport, ParseAndNameRoundTrip) {
+  for (TransportKind k : kAllTransports) {
+    const auto parsed = parse_transport(transport_name(k));
+    ASSERT_TRUE(parsed.has_value()) << transport_name(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_EQ(parse_transport("hub"), TransportKind::HubSwitch);
+  EXPECT_EQ(parse_transport("tree"), TransportKind::TreeMulticast);
+  EXPECT_EQ(parse_transport("direct"), TransportKind::DirectAll);
+  EXPECT_FALSE(parse_transport("carrier-pigeon").has_value());
+}
+
+TEST(Transport, MulticastDeliverySetIdenticalAcrossBackends) {
+  constexpr std::size_t kNodes = 8;
+  constexpr NodeId kSrc = 2;
+  for (TransportKind k : kAllTransports) {
+    sim::Engine eng;
+    NetConfig cfg;
+    cfg.transport = k;
+    Network nw(eng, cfg, kNodes);
+    std::set<NodeId> got;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n == kSrc) continue;
+      eng.spawn("rx" + std::to_string(n), [&nw, &got, n] {
+        (void)nw.nic(n).inbox().pop();
+        got.insert(n);
+      });
+    }
+    eng.spawn("tx", [&] { nw.multicast(make_msg(kSrc, kMulticastDst, 4000)); });
+    eng.run();
+    std::set<NodeId> expect;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      if (n != kSrc) expect.insert(n);
+    }
+    EXPECT_EQ(got, expect) << transport_name(k);
+    // Wire accounting: one frame on the hub medium, one frame per edge on
+    // the unicast-composed backends.
+    const std::uint64_t frames = k == TransportKind::HubSwitch ? 1 : kNodes - 1;
+    EXPECT_EQ(nw.messages_sent(), frames) << transport_name(k);
+    EXPECT_EQ(nw.deliveries(), kNodes - 1) << transport_name(k);
+  }
+}
+
+TEST(Transport, MulticastDeliveryTimesMonotonePerReceiver) {
+  // Successive group sends must arrive at every receiver in send order, at
+  // strictly increasing times, never before the send instant -- on every
+  // backend.
+  constexpr std::size_t kNodes = 6;
+  constexpr int kFrames = 3;
+  for (TransportKind k : kAllTransports) {
+    sim::Engine eng;
+    NetConfig cfg;
+    cfg.transport = k;
+    Network nw(eng, cfg, kNodes);
+    std::map<NodeId, std::vector<sim::SimTime>> arrivals;
+    sim::SimTime last_send{};
+    for (NodeId n = 1; n < kNodes; ++n) {
+      eng.spawn("rx" + std::to_string(n), [&nw, &arrivals, &eng, n] {
+        for (int i = 0; i < kFrames; ++i) {
+          (void)nw.nic(n).inbox().pop();
+          arrivals[n].push_back(eng.now());
+        }
+      });
+    }
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < kFrames; ++i) {
+        nw.multicast(make_msg(0, kMulticastDst, 3000));
+        last_send = eng.now();
+      }
+    });
+    eng.run();
+    for (NodeId n = 1; n < kNodes; ++n) {
+      ASSERT_EQ(arrivals[n].size(), static_cast<std::size_t>(kFrames)) << transport_name(k);
+      EXPECT_GE(arrivals[n].front(), last_send) << transport_name(k);
+      for (int i = 1; i < kFrames; ++i) {
+        EXPECT_LT(arrivals[n][i - 1], arrivals[n][i])
+            << transport_name(k) << " receiver " << n << " frame " << i;
+      }
+    }
+  }
+}
+
+TEST(Transport, TreeMulticastForwardsThroughInteriorNodes) {
+  // Fanout 2, sender 0, 8 nodes: node 1 and 2 are root children; nodes 3-6
+  // hang off 1 and 2; node 7 is a third-level leaf.  Arrival times must
+  // strictly increase with tree depth (per-hop latency accumulates).
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.transport = TransportKind::TreeMulticast;
+  cfg.mcast_tree_fanout = 2;
+  Network nw(eng, cfg, 8);
+  std::map<NodeId, sim::SimTime> at;
+  for (NodeId n = 1; n < 8; ++n) {
+    eng.spawn("rx" + std::to_string(n), [&nw, &at, &eng, n] {
+      (void)nw.nic(n).inbox().pop();
+      at[n] = eng.now();
+    });
+  }
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 4000)); });
+  eng.run();
+  ASSERT_EQ(at.size(), 7u);
+  EXPECT_LT(at[1], at[3]);  // root child before its own child
+  EXPECT_LT(at[1], at[4]);
+  EXPECT_LT(at[2], at[5]);
+  EXPECT_LT(at[2], at[6]);
+  EXPECT_LT(at[3], at[7]);  // depth 2 before depth 3
+}
+
+TEST(Transport, DirectAllSerializesFanOutOnSourceUplink) {
+  constexpr std::size_t kNodes = 5;
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.transport = TransportKind::DirectAll;
+  Network nw(eng, cfg, kNodes);
+  std::vector<std::pair<sim::SimTime, NodeId>> order;
+  for (NodeId n = 1; n < kNodes; ++n) {
+    eng.spawn("rx" + std::to_string(n), [&nw, &order, &eng, n] {
+      (void)nw.nic(n).inbox().pop();
+      order.emplace_back(eng.now(), n);
+    });
+  }
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 10000)); });
+  eng.run();
+  ASSERT_EQ(order.size(), kNodes - 1);
+  // Frames leave in ascending destination order and serialize on the source
+  // uplink: arrivals are spaced by one full serialization each.
+  const double leg = (10000 + 7 * 42) / 12.5e6 * 1e9;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1].first, order[i].first);
+    EXPECT_EQ(order[i].second, order[i - 1].second + 1);
+    EXPECT_NEAR(static_cast<double>((order[i].first - order[i - 1].first).ns), leg, 2000.0);
+  }
+}
+
+TEST(Transport, TreeMulticastLossCutsOffSubtrees) {
+  // Store-and-forward semantics: an interior node that lost the frame has
+  // nothing to forward.  With loss_probability = 1 only the root's own
+  // transmissions (its k children) are ever attempted; the rest of the
+  // tree is cut off without consuming loss-RNG draws.
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.transport = TransportKind::TreeMulticast;
+  cfg.mcast_tree_fanout = 2;
+  cfg.loss_probability = 1.0;
+  Network nw(eng, cfg, 8);
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 1000)); });
+  eng.run();
+  EXPECT_EQ(nw.deliveries(), 0u);
+  EXPECT_EQ(nw.losses_injected(), 2u);   // the root's two children only
+  EXPECT_EQ(nw.messages_sent(), 2u);     // only those frames hit the wire
+}
+
+TEST(Transport, UnicastPathIdenticalAcrossBackends) {
+  // Point-to-point always rides the switch; the backend choice must not
+  // perturb unicast delivery times.
+  std::vector<std::int64_t> finish;
+  for (TransportKind k : kAllTransports) {
+    sim::Engine eng;
+    NetConfig cfg;
+    cfg.transport = k;
+    Network nw(eng, cfg, 4);
+    eng.spawn("rx", [&] {
+      for (int i = 0; i < 3; ++i) (void)nw.nic(1).inbox().pop();
+    });
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 3; ++i) nw.unicast(make_msg(0, 1, 5000));
+    });
+    eng.run();
+    finish.push_back(eng.now().ns);
+  }
+  EXPECT_EQ(finish[0], finish[1]);
+  EXPECT_EQ(finish[0], finish[2]);
+}
+
 TEST(Network, DeterministicAcrossRuns) {
   auto run_once = [] {
     sim::Engine eng;
@@ -198,6 +378,39 @@ TEST(Network, DeterministicAcrossRuns) {
     return eng.now().ns;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(TransportProtocolMatrix, ChecksumsIdenticalAcrossModesFlowsAndTransports) {
+  // Every run Mode and every RSE FlowControl variant must compute the same
+  // application result on every transport backend: the wire model may only
+  // change timing and traffic, never data.
+  using apps::harness::Mode;
+  apps::bh::BhConfig bh;
+  bh.bodies = 256;
+  bh.steps = 1;
+  const auto checksum_of = [&](Mode m, TransportKind k, rse::FlowControl f) {
+    apps::harness::RunOptions o;
+    o.mode = m;
+    o.nodes = 4;
+    o.flow = f;
+    o.net.transport = k;
+    const auto report = apps::harness::run_barnes_hut(o, bh);
+    EXPECT_STREQ(report.transport, transport_name(k));
+    return report.checksum;
+  };
+
+  const double ref =
+      checksum_of(Mode::Sequential, TransportKind::HubSwitch, rse::FlowControl::Chained);
+  for (TransportKind k : kAllTransports) {
+    for (Mode m : {Mode::Original, Mode::Optimized, Mode::BroadcastSeq}) {
+      EXPECT_EQ(checksum_of(m, k, rse::FlowControl::Chained), ref)
+          << apps::harness::mode_name(m) << " on " << transport_name(k);
+    }
+    for (rse::FlowControl f : {rse::FlowControl::Windowed, rse::FlowControl::None}) {
+      EXPECT_EQ(checksum_of(Mode::Optimized, k, f), ref)
+          << "Optimized/" << apps::harness::flow_name(f) << " on " << transport_name(k);
+    }
+  }
 }
 
 }  // namespace
