@@ -8,6 +8,7 @@
 // measured one so the *shape* can be checked row by row.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -26,18 +27,32 @@ inline long env_long(const char* name, long fallback) {
 
 inline std::size_t bench_nodes() { return static_cast<std::size_t>(env_long("NODES", 32)); }
 
-/// The wire backend for a sweep: REPSEQ_TRANSPORT=hub|tree|direct overrides
-/// the bench's own default, so every sweep can run on any transport.
+/// The wire backend for a sweep: REPSEQ_TRANSPORT=hub|tree|direct|sharded
+/// overrides the bench's own default, so every sweep can run on any
+/// transport.
 inline net::TransportKind bench_transport(
     net::TransportKind fallback = net::TransportKind::HubSwitch) {
   const char* v = std::getenv("REPSEQ_TRANSPORT");
   if (v != nullptr) {
     const auto k = net::parse_transport(v);
     if (k) return *k;
-    std::fprintf(stderr, "unknown REPSEQ_TRANSPORT '%s' (hub|tree|direct); using %s\n", v,
-                 net::transport_name(fallback));
+    std::fprintf(stderr, "unknown REPSEQ_TRANSPORT '%s' (hub|tree|direct|sharded); using %s\n",
+                 v, net::transport_name(fallback));
   }
   return fallback;
+}
+
+/// Shard count for the sharded-hub backend (REPSEQ_HUB_SHARDS=S).
+inline std::size_t bench_hub_shards() {
+  return static_cast<std::size_t>(std::max(1L, env_long("HUB_SHARDS", 4)));
+}
+
+/// NetConfig with the env-selected transport + shard count applied.
+inline net::NetConfig bench_net_config() {
+  net::NetConfig ncfg;
+  ncfg.transport = bench_transport();
+  ncfg.hub_shards = bench_hub_shards();
+  return ncfg;
 }
 
 /// The scaled Barnes-Hut workload (paper: 131072 bodies, 2 steps).
@@ -66,7 +81,7 @@ inline apps::harness::RunOptions options_for(apps::harness::Mode mode,
   apps::harness::RunOptions o;
   o.mode = mode;
   o.nodes = nodes;
-  o.net.transport = bench_transport();
+  o.net = bench_net_config();
   o.tmk.heap_bytes = static_cast<std::size_t>(env_long("HEAP_MB", 24)) << 20;
   return o;
 }

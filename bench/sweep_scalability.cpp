@@ -22,17 +22,26 @@ int main() {
   const double bh_base = apps::harness::run_barnes_hut(options_for(Mode::Sequential, 1), bh).total_s;
   const double il_base = apps::harness::run_ilink(options_for(Mode::Sequential, 1), il).total_s;
 
-  util::Table t({"nodes", "BH orig", "BH opt", "Ilink orig", "Ilink opt"});
+  util::Table t({"nodes", "BH orig", "BH opt", "Ilink orig", "Ilink opt",
+                 "BH opt hub max (ms)"});
+  double hub_max_32 = 0;
+  std::size_t shards = 1;
   for (std::size_t nodes : {2, 4, 8, 16, 32}) {
     const auto bo = apps::harness::run_barnes_hut(options_for(Mode::Original, nodes), bh);
     const auto br = apps::harness::run_barnes_hut(options_for(Mode::Optimized, nodes), bh);
     const auto io = apps::harness::run_ilink(options_for(Mode::Original, nodes), il);
     const auto ir = apps::harness::run_ilink(options_for(Mode::Optimized, nodes), il);
+    if (nodes == 32) hub_max_32 = br.hub_busy_max_s * 1e3;
+    shards = br.hub_shards;
     t.add_row({std::to_string(nodes), fmt1(bh_base / bo.total_s), fmt1(bh_base / br.total_s),
-               fmt1(il_base / io.total_s), fmt1(il_base / ir.total_s)});
+               fmt1(il_base / io.total_s), fmt1(il_base / ir.total_s),
+               fmt2(br.hub_busy_max_s * 1e3)});
   }
   std::printf("%s", t.render().c_str());
   std::printf("\nExpected shape: the optimized curves pull ahead as node count grows,\n"
               "with the larger relative win on Ilink (paper: +51%% BH, +189%% Ilink at 32).\n");
+  std::printf("Multicast medium: %zu shard(s); busiest shard at 32 nodes transmitted for"
+              " %.2f ms.\n",
+              shards, hub_max_32);
   return 0;
 }

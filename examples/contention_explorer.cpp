@@ -7,6 +7,7 @@
 // Build & run:   ./build/examples/contention_explorer
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "ompnow/team.hpp"
@@ -61,13 +62,26 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     const auto kind = net::parse_transport(argv[1]);
     if (!kind) {
-      std::fprintf(stderr, "usage: %s [hub|tree|direct]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [hub|tree|direct|sharded] [shards]\n", argv[0]);
       return 2;
     }
     ncfg.transport = *kind;
   }
+  if (argc > 2) {
+    const long shards = std::atol(argv[2]);
+    if (shards < 1) {
+      std::fprintf(stderr, "shard count must be >= 1, got '%s'\n", argv[2]);
+      return 2;
+    }
+    ncfg.hub_shards = static_cast<std::size_t>(shards);
+  }
   std::printf("Hot-spot response time vs cluster size (64 master-written pages)\n");
-  std::printf("transport: %s\n\n", net::transport_name(ncfg.transport));
+  if (ncfg.transport == net::TransportKind::ShardedHub) {
+    std::printf("transport: %s (%zu shards)\n\n", net::transport_name(ncfg.transport),
+                ncfg.hub_shards);
+  } else {
+    std::printf("transport: %s\n\n", net::transport_name(ncfg.transport));
+  }
   std::printf("%6s | %-28s | %-28s\n", "nodes", "base avg/max response (ms)",
               "replicated avg/max (ms)");
   std::printf("-------+------------------------------+-----------------------------\n");

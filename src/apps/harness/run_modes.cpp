@@ -87,6 +87,13 @@ struct Bench {
     r.recoveries = seq.recoveries + par.recoveries;
     r.drops = cluster->network().total_drops();
 
+    const std::vector<tmk::HubOccupancy> occ = cluster->hub_occupancy();
+    r.hub_shards = occ.size();
+    for (const tmk::HubOccupancy& o : occ) {
+      r.hub_busy_max_s = std::max(r.hub_busy_max_s, o.busy.seconds());
+      r.hub_busy_total_s += o.busy.seconds();
+    }
+
     // "diff requests": for sequential sections the paper counts the single
     // most-faulting thread (the master in the original system); for
     // parallel sections the per-thread average.

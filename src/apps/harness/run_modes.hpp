@@ -58,6 +58,14 @@ struct RunReport {
   std::uint64_t recoveries = 0;
   std::uint64_t drops = 0;
 
+  // Multicast-medium occupancy: how many serialization domains the backend
+  // exposed and the busiest one's transmit time.  On the sharded hub the
+  // max-per-shard busy dropping below the single hub's busy is exactly the
+  // contention-removal the backend exists for.
+  std::size_t hub_shards = 1;
+  double hub_busy_max_s = 0;    // busiest shard's transmit time
+  double hub_busy_total_s = 0;  // summed over shards
+
   double checksum = 0;  // application result for cross-mode verification
   std::uint64_t aux = 0;
 };

@@ -17,6 +17,11 @@ class HubSwitchTransport final : public SwitchedTransport {
   std::size_t multicast(const Message& msg, std::size_t wire_bytes,
                         const DeliverFn& deliver) override;
 
+  /// The single hub is shard 0 of a one-shard medium.
+  [[nodiscard]] sim::SimDuration shard_busy(std::size_t s) const override {
+    return s == 0 ? hub_.busy_total() : sim::SimDuration{};
+  }
+
  private:
   Hub hub_;
 };

@@ -21,6 +21,10 @@ struct Message {
   NodeId dst = 0;
   /// Protocol-defined discriminator (net layer treats it as opaque).
   std::uint32_t kind = 0;
+  /// Multicast group key: the sharded-hub medium hashes it to pick the
+  /// shard carrying this frame (see net::shard_of).  Ignored by unicast and
+  /// by single-medium backends.  The DSM layer keys round traffic by page.
+  std::uint64_t mcast_group = 0;
   /// Payload bytes as they would appear on the wire (excluding headers).
   std::size_t payload_bytes = 0;
   /// The typed payload, cast back by the protocol layer.

@@ -27,6 +27,10 @@ enum class TransportKind {
   /// Strawman: multicast as a per-destination unicast fan-out serialized on
   /// the source uplink.
   DirectAll,
+  /// S independent hub media (NetConfig::hub_shards); each multicast group
+  /// hashes to one shard, so rounds on disjoint groups never serialize on
+  /// the same medium.  S = 1 degenerates to HubSwitch frame for frame.
+  ShardedHub,
 };
 
 [[nodiscard]] constexpr const char* transport_name(TransportKind k) {
@@ -37,17 +41,34 @@ enum class TransportKind {
       return "tree-multicast";
     case TransportKind::DirectAll:
       return "direct-all";
+    case TransportKind::ShardedHub:
+      return "sharded-hub";
   }
   return "?";
 }
 
 /// Parses a transport selection from a CLI flag / environment variable.
-/// Accepts the canonical names plus short aliases ("hub", "tree", "direct").
+/// Accepts the canonical names plus short aliases ("hub", "tree", "direct",
+/// "sharded").
 [[nodiscard]] inline std::optional<TransportKind> parse_transport(std::string_view s) {
   if (s == "hub" || s == "hub-switch") return TransportKind::HubSwitch;
   if (s == "tree" || s == "tree-multicast") return TransportKind::TreeMulticast;
   if (s == "direct" || s == "direct-all") return TransportKind::DirectAll;
+  if (s == "sharded" || s == "sharded-hub") return TransportKind::ShardedHub;
   return std::nullopt;
+}
+
+/// Deterministic multicast-group -> shard mapping shared by the sharded-hub
+/// medium and the per-shard round serialization above it (both sides MUST
+/// agree on the placement or rounds would serialize on the wrong medium).
+/// splitmix64 finalizer: cheap, well-dispersed, stable across runs.
+[[nodiscard]] constexpr std::size_t shard_of(std::uint64_t group, std::size_t shards) {
+  if (shards <= 1) return 0;
+  std::uint64_t x = group + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x % shards);
 }
 
 struct NetConfig {
@@ -56,6 +77,10 @@ struct NetConfig {
 
   /// Fan-out of the TreeMulticast forwarding tree (k-ary, k >= 1).
   std::size_t mcast_tree_fanout = 2;
+
+  /// Number of independent hub media for the ShardedHub transport (S >= 1).
+  /// Ignored by every other backend.
+  std::size_t hub_shards = 4;
 
   /// Link rate of each node's switched full-duplex port, bytes per second.
   /// 100 Mbps = 12.5 MB/s.

@@ -43,6 +43,21 @@ class Network {
     return nics_.size() > 1 ? transport_->sender_frames(nics_.size() - 1) : 1;
   }
 
+  /// Multicast serialization domains of the active backend (1 everywhere
+  /// except the sharded hub); upper layers size per-shard round tables and
+  /// per-shard traffic accounting off this.
+  [[nodiscard]] std::size_t hub_shards() const { return transport_->shard_count(); }
+
+  /// Time shard `s` of the multicast medium spent transmitting.
+  [[nodiscard]] sim::SimDuration hub_busy(std::size_t s) const {
+    return transport_->shard_busy(s);
+  }
+
+  /// The shard a multicast group maps to on the active backend.
+  [[nodiscard]] std::size_t shard_of_group(std::uint64_t group) const {
+    return shard_of(group, transport_->shard_count());
+  }
+
   /// Observability for tests and the benchmark harness.
   [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
@@ -60,6 +75,12 @@ class Network {
   /// carry their own timeout recovery (paper Section 5.4.2).
   using LossFilter = std::function<bool(const Message&)>;
   void set_loss_filter(LossFilter f) { lossable_ = std::move(f); }
+
+  /// Same classification for receive-ring overflow (see
+  /// Nic::set_drop_filter): installed on every NIC.
+  void set_drop_filter(Nic::DropFilter f) {
+    for (auto& nic : nics_) nic->set_drop_filter(f);
+  }
 
  private:
   /// Schedules delivery unless loss injection consumes the frame; returns

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "net/message.hpp"
 #include "net/net_config.hpp"
@@ -31,8 +32,18 @@ class Nic {
   sim::SimTime reserve_uplink(std::size_t wire_bytes, sim::SimTime ready);
 
   /// Delivery at the receive ring.  Honors capacity; returns false (and
-  /// counts a drop) when the ring is full.
+  /// counts a drop) when the ring is full and the message is droppable.
   bool deliver(Message msg);
+
+  /// Restricts ring-overflow drops to messages for which the filter
+  /// returns true, mirroring Network::set_loss_filter: the DSM layer
+  /// exempts synchronization traffic, whose kernel-level transport retries
+  /// are not the behaviour under study, so a full ring admits it anyway
+  /// (modeled as retried-until-delivered without simulating the retry).
+  /// The diff/multicast paths -- the paper's Section 5.4 overflow hazard --
+  /// stay droppable.  No filter (the default) drops everything on overflow.
+  using DropFilter = std::function<bool(const Message&)>;
+  void set_drop_filter(DropFilter f) { droppable_ = std::move(f); }
 
   /// Blocking receive used by the node's dispatcher fiber.
   [[nodiscard]] sim::Channel<Message>& inbox() { return inbox_; }
@@ -48,6 +59,7 @@ class Nic {
   sim::Channel<Message> inbox_;
   sim::SimTime uplink_free_{};
   std::uint64_t drops_ = 0;
+  DropFilter droppable_{};
 };
 
 }  // namespace repseq::net

@@ -1,0 +1,34 @@
+// Sharded multicast medium: S independent half-duplex hubs, one of which
+// carries any given group send.  The shard is chosen by hashing the frame's
+// multicast group (net::shard_of), so traffic for disjoint groups -- e.g.
+// RSE rounds for different pages -- never serializes on the same medium.
+// This removes the single hub as the serialization bottleneck for
+// concurrent rounds; with S = 1 the backend is frame-for-frame identical to
+// HubSwitchTransport.  Unicast still rides the switch.
+#pragma once
+
+#include <vector>
+
+#include "net/hub.hpp"
+#include "net/transport.hpp"
+
+namespace repseq::net {
+
+class ShardedHubTransport final : public SwitchedTransport {
+ public:
+  ShardedHubTransport(sim::Engine& eng, const NetConfig& cfg,
+                      std::vector<std::unique_ptr<Nic>>& nics);
+
+  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
+                        const DeliverFn& deliver) override;
+
+  [[nodiscard]] std::size_t shard_count() const override { return hubs_.size(); }
+  [[nodiscard]] sim::SimDuration shard_busy(std::size_t s) const override {
+    return s < hubs_.size() ? hubs_[s].busy_total() : sim::SimDuration{};
+  }
+
+ private:
+  std::vector<Hub> hubs_;
+};
+
+}  // namespace repseq::net

@@ -2,6 +2,7 @@
 
 #include "net/direct_all_transport.hpp"
 #include "net/hub_switch_transport.hpp"
+#include "net/sharded_hub_transport.hpp"
 #include "net/tree_multicast_transport.hpp"
 #include "util/check.hpp"
 
@@ -16,6 +17,8 @@ std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg
       return std::make_unique<TreeMulticastTransport>(eng, cfg, nics);
     case TransportKind::DirectAll:
       return std::make_unique<DirectAllTransport>(eng, cfg, nics);
+    case TransportKind::ShardedHub:
+      return std::make_unique<ShardedHubTransport>(eng, cfg, nics);
   }
   REPSEQ_CHECK(false, "unknown transport kind");
 }

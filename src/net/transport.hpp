@@ -61,6 +61,19 @@ class Transport {
     return 1;
   }
 
+  /// Number of independent multicast serialization domains this backend
+  /// exposes.  1 for every single-medium or unicast-composed backend; the
+  /// sharded hub reports its shard count.  Upper layers size their
+  /// per-shard round tables off this.
+  [[nodiscard]] virtual std::size_t shard_count() const { return 1; }
+
+  /// Total time shard `s` of the multicast medium was busy transmitting
+  /// (hub occupancy).  Zero for backends without a shared medium.
+  [[nodiscard]] virtual sim::SimDuration shard_busy(std::size_t s) const {
+    (void)s;
+    return {};
+  }
+
  protected:
   sim::Engine& eng_;
   const NetConfig& cfg_;

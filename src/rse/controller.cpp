@@ -19,8 +19,21 @@ using tmk::PageProt;
 }  // namespace
 
 RseController::RseController(tmk::Cluster& cluster, FlowControl flow)
-    : cluster_(cluster), flow_(flow), state_(cluster.node_count()) {
+    : cluster_(cluster),
+      flow_(flow),
+      shards_(cluster.network().hub_shards()),
+      state_(cluster.node_count()) {
+  for (NodeState& st : state_) st.rounds.resize(shards_);
+  state_[0].shards.resize(shards_);
   cluster_.set_rse_hooks(this);  // registers this variant's handler set
+}
+
+RseController::RoundState& RseController::round_state(tmk::NodeRuntime& rt, std::size_t shard) {
+  return state_[rt.id()].rounds[shard];
+}
+
+RseController::MasterShard& RseController::master_shard(std::size_t shard) {
+  return state_[0].shards[shard];
 }
 
 void RseController::begin_round(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
@@ -178,7 +191,7 @@ void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
       // Strawman: the faulting node multicasts its request directly; no
       // serialization at the master, holders reply immediately.
       tmk::McastDiffRequestP req{0, page, rt.id(), std::move(wanted)};
-      rt.send_multicast(MsgKind::McastDiffRequest, req, /*on_server=*/false);
+      rt.send_multicast(MsgKind::McastDiffRequest, req, /*on_server=*/false, /*group=*/page);
       begin_round(rt, req, /*on_server=*/false);
     } else {
       tmk::McastRequestFwdP fwd{page, rt.id(), std::move(wanted)};
@@ -215,13 +228,15 @@ void RseController::recover(tmk::NodeRuntime& rt, PageId page) {
 
 void RseController::master_enqueue(tmk::NodeRuntime& master, tmk::McastRequestFwdP fwd,
                                    bool on_server) {
-  NodeState& ms = state_[0];
+  const std::size_t shard = shard_for(fwd.page);
+  MasterShard& ms = master_shard(shard);
   ms.queue.push_back(tmk::McastDiffRequestP{0, fwd.page, fwd.requester, std::move(fwd.wanted)});
-  if (!ms.round_in_flight) master_start_next(master, on_server);
+  if (!ms.round_in_flight) master_start_next(master, shard, on_server);
 }
 
-void RseController::master_start_next(tmk::NodeRuntime& master, bool on_server) {
-  NodeState& ms = state_[0];
+void RseController::master_start_next(tmk::NodeRuntime& master, std::size_t shard,
+                                      bool on_server) {
+  MasterShard& ms = master_shard(shard);
   if (ms.queue.empty()) {
     ms.round_in_flight = false;
     return;
@@ -235,38 +250,41 @@ void RseController::master_start_next(tmk::NodeRuntime& master, bool on_server) 
     ms.awaiting_replies.clear();
     for (const auto& [owner, _] : req.wanted) ms.awaiting_replies.push_back(owner);
   }
-  master.send_multicast(MsgKind::McastDiffRequest, req, on_server);
+  master.send_multicast(MsgKind::McastDiffRequest, req, on_server, /*group=*/req.page);
   begin_round(master, req, on_server);  // the master never receives its own frame
 
-  // Watchdog: a lost frame stalls the ack chain (and with it the round
-  // queue) indefinitely.  If this round is still in flight when the tick
-  // lands, the master abandons it -- the faulters repair themselves through
-  // the direct-recovery path of Section 5.4.2.
+  // Watchdog: a lost frame stalls the ack chain (and with it this shard's
+  // round queue) indefinitely.  If this round is still in flight when the
+  // tick lands, the master abandons it -- the faulters repair themselves
+  // through the direct-recovery path of Section 5.4.2.
   const std::uint64_t round_no = req.round;
   ms.round_watchdog =
-      cluster_.engine().schedule_in(master.config().rse_wait_timeout, [this, round_no] {
-        NodeState& m = state_[0];
+      cluster_.engine().schedule_in(master.config().rse_wait_timeout, [this, round_no, shard] {
+        MasterShard& m = master_shard(shard);
         if (m.round_in_flight && m.active_round == round_no) {
-          cluster_.network().nic(0).inbox().push(
-              tmk::make_message(MsgKind::RseRoundTick, 0, 0, tmk::RseRoundTickP{round_no}));
+          cluster_.network().nic(0).inbox().push(tmk::make_message(
+              MsgKind::RseRoundTick, 0, 0,
+              tmk::RseRoundTickP{round_no, static_cast<std::uint32_t>(shard)}));
         }
       });
 }
 
-void RseController::master_round_finished(tmk::NodeRuntime& master, bool on_server) {
-  NodeState& ms = state_[0];
+void RseController::master_round_finished(tmk::NodeRuntime& master, std::size_t shard,
+                                          bool on_server) {
+  MasterShard& ms = master_shard(shard);
   REPSEQ_CHECK(ms.round_in_flight, "round finish without a round");
   ms.round_in_flight = false;
   if (ms.round_watchdog) {
     cluster_.engine().cancel(ms.round_watchdog);
     ms.round_watchdog = nullptr;
   }
-  master_start_next(master, on_server);
+  master_start_next(master, shard, on_server);
 }
 
 void RseController::chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
                                         bool on_server) {
-  NodeState& st = state_[rt.id()];
+  const std::size_t shard = shard_for(req.page);
+  RoundState& st = round_state(rt, shard);
   st.round = req.round;
   st.round_page = req.page;
   st.round_wanted = req.wanted;
@@ -280,56 +298,59 @@ void RseController::chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDi
   }
   st.early_frames.erase(st.early_frames.begin(), st.early_frames.upper_bound(req.round));
   while (st.next_sender == rt.id()) {
-    chain_send_own(rt, on_server);
+    chain_send_own(rt, shard, on_server);
   }
   for (net::NodeId s : replay) {
-    chain_observe(rt, s, on_server);
+    chain_observe(rt, shard, s, on_server);
   }
   if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
-    master_round_finished(rt, on_server);
+    master_round_finished(rt, shard, on_server);
   }
 }
 
 void RseController::begin_concurrent(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
                                      bool on_server) {
   // Concurrent replies: every holder answers immediately.
-  NodeState& st = state_[rt.id()];
+  const std::size_t shard = shard_for(req.page);
+  RoundState& st = round_state(rt, shard);
   st.round = req.round;
   st.round_page = req.page;
   st.round_wanted = req.wanted;
   const bool i_hold = std::any_of(req.wanted.begin(), req.wanted.end(),
                                   [&](const auto& w) { return w.first == rt.id(); });
   if (i_hold) {
-    send_own_frame(rt, on_server);
+    send_own_frame(rt, shard, on_server);
     if (flow_ == FlowControl::Windowed && rt.is_master()) {
-      window_retire(rt, rt.id(), req.round, on_server);
+      window_retire(rt, shard, rt.id(), req.round, on_server);
     }
   }
 }
 
-void RseController::send_own_frame(tmk::NodeRuntime& rt, bool on_server) {
-  NodeState& st = state_[rt.id()];
+void RseController::send_own_frame(tmk::NodeRuntime& rt, std::size_t shard, bool on_server) {
+  RoundState& st = round_state(rt, shard);
   auto it = std::find_if(st.round_wanted.begin(), st.round_wanted.end(),
                          [&](const auto& w) { return w.first == rt.id(); });
   if (it != st.round_wanted.end()) {
     std::vector<tmk::DiffPacket> packets = rt.collect_diffs(st.round_page, it->second, on_server);
     rt.send_multicast(MsgKind::McastDiffReply,
                       tmk::McastDiffReplyP{st.round, st.round_page, rt.id(), std::move(packets)},
-                      on_server);
+                      on_server, /*group=*/st.round_page);
   } else {
     // "otherwise a null acknowledgment message is sent" (Section 5.4.2).
     rt.send_multicast(MsgKind::McastNullAck,
-                      tmk::McastNullAckP{st.round, st.round_page, rt.id()}, on_server);
+                      tmk::McastNullAckP{st.round, st.round_page, rt.id()}, on_server,
+                      /*group=*/st.round_page);
   }
 }
 
-void RseController::chain_send_own(tmk::NodeRuntime& rt, bool on_server) {
-  send_own_frame(rt, on_server);
-  ++state_[rt.id()].next_sender;
+void RseController::chain_send_own(tmk::NodeRuntime& rt, std::size_t shard, bool on_server) {
+  send_own_frame(rt, shard, on_server);
+  ++round_state(rt, shard).next_sender;
 }
 
-void RseController::chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server) {
-  NodeState& st = state_[rt.id()];
+void RseController::chain_observe(tmk::NodeRuntime& rt, std::size_t shard, net::NodeId sender,
+                                  bool on_server) {
+  RoundState& st = round_state(rt, shard);
   // On the FIFO hub, frames arrive strictly in thread-id order without
   // loss.  A gap means a lost frame (skip over it; the requester's timeout
   // recovery repairs any missing diffs) or, on a non-FIFO transport such as
@@ -340,24 +361,24 @@ void RseController::chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool
   const bool own_turn_skipped = st.next_sender <= rt.id() && rt.id() < sender;
   st.next_sender = sender + 1;
   if (own_turn_skipped) {
-    send_own_frame(rt, on_server);
+    send_own_frame(rt, shard, on_server);
   }
   while (st.next_sender == rt.id()) {
-    chain_send_own(rt, on_server);
+    chain_send_own(rt, shard, on_server);
   }
   if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
-    master_round_finished(rt, on_server);
+    master_round_finished(rt, shard, on_server);
   }
 }
 
-void RseController::window_retire(tmk::NodeRuntime& rt, net::NodeId sender, std::uint64_t round,
-                                  bool on_server) {
-  NodeState& ms = state_[0];
+void RseController::window_retire(tmk::NodeRuntime& rt, std::size_t shard, net::NodeId sender,
+                                  std::uint64_t round, bool on_server) {
+  MasterShard& ms = master_shard(shard);
   // A reply from a watchdog-abandoned round must not shrink the successor
   // round's window.
   if (!ms.round_in_flight || round != ms.active_round) return;
   std::erase(ms.awaiting_replies, sender);
-  if (ms.awaiting_replies.empty()) master_round_finished(rt, on_server);
+  if (ms.awaiting_replies.empty()) master_round_finished(rt, shard, on_server);
 }
 
 void RseController::apply_mcast_packets(tmk::NodeRuntime& rt,
@@ -401,7 +422,7 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
                                                             /*on_server=*/true);
     rt.send_multicast(MsgKind::McastDiffReply,
                       tmk::McastDiffReplyP{0, r.page, rt.id(), std::move(packets)},
-                      /*on_server=*/true);
+                      /*on_server=*/true, /*group=*/r.page);
   });
 
   // ---- per-variant handler sets ----
@@ -412,9 +433,10 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
         const auto& r = msg.as<tmk::McastDiffReplyP>();
         apply_mcast_packets(rt, r.packets, /*on_server=*/true);
         if (r.round != 0) {
-          NodeState& st = state_[rt.id()];
+          const std::size_t shard = shard_for(r.page);
+          RoundState& st = round_state(rt, shard);
           if (r.round == st.round) {
-            chain_observe(rt, r.sender, /*on_server=*/true);
+            chain_observe(rt, shard, r.sender, /*on_server=*/true);
           } else if (r.round > st.round) {
             // Overtook its own round's request (non-FIFO transport); park
             // for replay when that request arrives.
@@ -424,9 +446,10 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
       });
       engine.on(MsgKind::McastNullAck, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
         const auto& a = msg.as<tmk::McastNullAckP>();
-        NodeState& st = state_[rt.id()];
+        const std::size_t shard = shard_for(a.page);
+        RoundState& st = round_state(rt, shard);
         if (a.round == st.round) {
-          chain_observe(rt, a.sender, /*on_server=*/true);
+          chain_observe(rt, shard, a.sender, /*on_server=*/true);
         } else if (a.round > st.round) {
           st.early_frames[a.round].insert(a.sender);
         }
@@ -437,7 +460,7 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
         const auto& r = msg.as<tmk::McastDiffReplyP>();
         apply_mcast_packets(rt, r.packets, /*on_server=*/true);
         if (r.round != 0 && rt.is_master()) {
-          window_retire(rt, r.sender, r.round, /*on_server=*/true);
+          window_retire(rt, shard_for(r.page), r.sender, r.round, /*on_server=*/true);
         }
       });
       break;
@@ -459,10 +482,10 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
     });
     engine.on(MsgKind::RseRoundTick, [this](tmk::NodeRuntime& rt, const net::Message& msg) {
       REPSEQ_CHECK(rt.is_master(), "round tick on non-master");
-      NodeState& ms = state_[0];
       const auto& tick = msg.as<tmk::RseRoundTickP>();
+      MasterShard& ms = master_shard(tick.shard);
       if (ms.round_in_flight && ms.active_round == tick.round) {
-        master_round_finished(rt, /*on_server=*/true);
+        master_round_finished(rt, tick.shard, /*on_server=*/true);
       }
     });
   }

@@ -61,6 +61,35 @@ class RseController final : public tmk::RseHooks {
   [[nodiscard]] sim::SimDuration valid_notice_time() const { return valid_notice_time_; }
 
  private:
+  /// Chained/windowed state of the round in progress on ONE shard of the
+  /// multicast medium.  Rounds on distinct shards are independent: each
+  /// shard runs its own reply chain, so a node can be mid-chain on several
+  /// shards at once.
+  struct RoundState {
+    std::uint64_t round = 0;  // 0 = idle (round numbers are per-shard)
+    tmk::PageId round_page = 0;
+    tmk::WantedByOwner round_wanted;
+    net::NodeId next_sender = 0;
+    /// Reply/ack frames observed for rounds this node has not started yet
+    /// (a non-FIFO transport can deliver a reply before its request);
+    /// replayed when the round's request arrives, pruned at round start.
+    std::map<std::uint64_t, std::set<net::NodeId>> early_frames;
+  };
+
+  /// Master-only round serialization for ONE shard: the single in-flight
+  /// gate the paper describes, replicated per shard so concurrent rounds on
+  /// disjoint shards proceed in parallel instead of queueing behind one
+  /// another.
+  struct MasterShard {
+    std::deque<tmk::McastDiffRequestP> queue;
+    bool round_in_flight = false;
+    std::uint64_t active_round = 0;
+    std::uint64_t next_round_no = 1;
+    sim::EventQueue::Handle round_watchdog;
+    /// Windowed mode: owners whose reply for the current round is pending.
+    std::vector<net::NodeId> awaiting_replies;
+  };
+
   struct NodeState {
     bool active = false;
     /// The aggregated valid-notice table multicast by the master.
@@ -71,27 +100,15 @@ class RseController final : public tmk::RseHooks {
     /// Waiting app fiber during the table exchange.
     sim::WaitToken* table_waiter = nullptr;
 
-    // ---- chained-reply state for the round in progress ----
-    std::uint64_t round = 0;        // 0 = idle
-    tmk::PageId round_page = 0;
-    tmk::WantedByOwner round_wanted;
-    net::NodeId next_sender = 0;
-    /// Reply/ack frames observed for rounds this node has not started yet
-    /// (a non-FIFO transport can deliver a reply before its request);
-    /// replayed when the round's request arrives, pruned at round start.
-    std::map<std::uint64_t, std::set<net::NodeId>> early_frames;
+    /// Per-shard round state (index = shard id, sized to the backend's
+    /// shard count; single-medium backends have exactly one entry).
+    std::vector<RoundState> rounds;
 
-    // ---- master-only round serialization ----
-    std::deque<tmk::McastDiffRequestP> queue;
-    bool round_in_flight = false;
-    std::uint64_t active_round = 0;
-    std::uint64_t next_round_no = 1;
-    sim::EventQueue::Handle round_watchdog;
+    // ---- master-only state ----
+    std::vector<MasterShard> shards;  // per-shard round tables (node 0 only)
     std::uint32_t notices_collected = 0;
     std::vector<tmk::ValidNoticesP> gathering;
     sim::WaitToken* master_gather_waiter = nullptr;
-    /// Windowed mode: owners whose reply for the current round is pending.
-    std::vector<net::NodeId> awaiting_replies;
   };
 
   /// Computes this node's valid notices: one (page, valid_vc) entry per
@@ -107,10 +124,20 @@ class RseController final : public tmk::RseHooks {
   [[nodiscard]] tmk::WantedByOwner union_missing(tmk::NodeRuntime& rt, const NodeState& st,
                                                  tmk::PageId page) const;
 
-  /// Master: enqueue a forwarded request, start it if no round is active.
+  /// The shard of the multicast medium carrying round traffic for `page`
+  /// (must agree with the sharded-hub backend's group placement).
+  [[nodiscard]] std::size_t shard_for(tmk::PageId page) const {
+    return net::shard_of(page, shards_);
+  }
+  /// This node's per-shard round state, growing the table on first use.
+  [[nodiscard]] RoundState& round_state(tmk::NodeRuntime& rt, std::size_t shard);
+  [[nodiscard]] MasterShard& master_shard(std::size_t shard);
+
+  /// Master: enqueue a forwarded request on its page's shard, start it if
+  /// that shard has no round in flight.
   void master_enqueue(tmk::NodeRuntime& master, tmk::McastRequestFwdP fwd, bool on_server);
-  void master_start_next(tmk::NodeRuntime& master, bool on_server);
-  void master_round_finished(tmk::NodeRuntime& master, bool on_server);
+  void master_start_next(tmk::NodeRuntime& master, std::size_t shard, bool on_server);
+  void master_round_finished(tmk::NodeRuntime& master, std::size_t shard, bool on_server);
 
   /// Round entry at node `rt` (on multicast-request receipt, or locally at
   /// the sender): Chained walks the ack chain, Windowed/None reply
@@ -119,16 +146,17 @@ class RseController final : public tmk::RseHooks {
   void chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
                            bool on_server);
   void begin_concurrent(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req, bool on_server);
-  /// Advances the ack chain after `sender`'s frame was observed.
-  void chain_observe(tmk::NodeRuntime& rt, net::NodeId sender, bool on_server);
-  /// Sends this node's frame (diffs or null ack) for the current round.
-  void send_own_frame(tmk::NodeRuntime& rt, bool on_server);
-  /// send_own_frame at this node's chain turn; advances the turn counter.
-  void chain_send_own(tmk::NodeRuntime& rt, bool on_server);
-  /// Windowed: retire `sender`'s reply for `round` from the master's
-  /// window (ignores replies of abandoned rounds).
-  void window_retire(tmk::NodeRuntime& rt, net::NodeId sender, std::uint64_t round,
+  /// Advances the shard's ack chain after `sender`'s frame was observed.
+  void chain_observe(tmk::NodeRuntime& rt, std::size_t shard, net::NodeId sender,
                      bool on_server);
+  /// Sends this node's frame (diffs or null ack) for the shard's round.
+  void send_own_frame(tmk::NodeRuntime& rt, std::size_t shard, bool on_server);
+  /// send_own_frame at this node's chain turn; advances the turn counter.
+  void chain_send_own(tmk::NodeRuntime& rt, std::size_t shard, bool on_server);
+  /// Windowed: retire `sender`'s reply for `round` from the shard's master
+  /// window (ignores replies of abandoned rounds).
+  void window_retire(tmk::NodeRuntime& rt, std::size_t shard, net::NodeId sender,
+                     std::uint64_t round, bool on_server);
 
   /// Applies multicast diff packets if (and only if) this node still misses
   /// them; valid pages are never overwritten (their replicated writes may
@@ -141,6 +169,9 @@ class RseController final : public tmk::RseHooks {
 
   tmk::Cluster& cluster_;
   FlowControl flow_;
+  /// Multicast serialization domains of the active transport backend; the
+  /// round tables are sized to it (1 everywhere except the sharded hub).
+  std::size_t shards_;
   std::vector<NodeState> state_;
   sim::SimDuration valid_notice_time_{};
 };

@@ -251,11 +251,14 @@ struct BcastAckP {
 };
 
 /// Master-local watchdog tick (injected into the master's own inbox, never
-/// transmitted): if the multicast round `round` is still in flight when the
-/// tick is handled, the master abandons it and starts the next one; the
-/// faulters of the dead round fall back to direct recovery.
+/// transmitted): if the multicast round `round` on `shard` is still in
+/// flight when the tick is handled, the master abandons it and starts that
+/// shard's next one; the faulters of the dead round fall back to direct
+/// recovery.  Round numbers are per-shard sequences, so the shard must ride
+/// along to name the round unambiguously.
 struct RseRoundTickP {
   std::uint64_t round = 0;
+  std::uint32_t shard = 0;
   [[nodiscard]] static std::size_t wire_bytes() { return 0; }
 };
 

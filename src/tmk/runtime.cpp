@@ -495,12 +495,15 @@ void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
   // prune a forwarding tree, so the nominal per-edge count can overshoot).
   const std::uint64_t msgs_before = nw.messages_sent();
   const std::uint64_t bytes_before = nw.bytes_sent();
+  const std::size_t shard = nw.shard_of_group(msg.mcast_group);
   nw.multicast(std::move(msg));
   const std::uint64_t wire_frames = nw.messages_sent() - msgs_before;
   const std::uint64_t wire_bytes = nw.bytes_sent() - bytes_before;
   PhaseCounters& c = stats_.for_phase(cluster_.phase());
   c.msgs_sent += wire_frames;
   c.bytes_sent += wire_bytes;
+  c.shard(shard).mcast_msgs += wire_frames;
+  c.shard(shard).mcast_bytes += wire_bytes;
   if (is_diff_traffic(kind)) {
     c.diff_msgs_sent += wire_frames;
     c.diff_bytes_sent += wire_bytes;
@@ -821,7 +824,14 @@ Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
   // Loss injection exercises the diff-request recovery paths; the
   // synchronization messages (fork/join/barrier/lock) are modeled as
   // reliable transport (TreadMarks retries them below the protocol layer).
+  // The same split governs receive-ring overflow: diff traffic -- the
+  // Section 5.4 hazard the flow control exists for -- drops on a full
+  // ring, while sync traffic is admitted as if kernel-retried (a dropped
+  // Join/Barrier has no protocol-level recovery and would deadlock the
+  // cluster, e.g. when concurrent sharded rounds' ack tails overlap the
+  // join burst at a section boundary).
   network_->set_loss_filter([](const net::Message& m) { return is_diff_traffic(kind_of(m)); });
+  network_->set_drop_filter([](const net::Message& m) { return is_diff_traffic(kind_of(m)); });
   nodes_.reserve(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(*this, n));
@@ -882,6 +892,20 @@ PhaseCounters Cluster::total(Phase p) const {
   for (const auto& node : nodes_) {
     out.merge(node->stats().for_phase(p));
   }
+  return out;
+}
+
+std::vector<HubOccupancy> Cluster::hub_occupancy() const {
+  std::vector<HubOccupancy> out(network_->hub_shards());
+  for (const auto& node : nodes_) {
+    for (const PhaseCounters* c : {&node->stats_.seq, &node->stats_.par}) {
+      for (std::size_t s = 0; s < c->shard_traffic.size() && s < out.size(); ++s) {
+        out[s].mcast_msgs += c->shard_traffic[s].mcast_msgs;
+        out[s].mcast_bytes += c->shard_traffic[s].mcast_bytes;
+      }
+    }
+  }
+  for (std::size_t s = 0; s < out.size(); ++s) out[s].busy = network_->hub_busy(s);
   return out;
 }
 

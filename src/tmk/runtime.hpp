@@ -162,10 +162,14 @@ class NodeRuntime {
   void send_unicast(MsgKind kind, NodeId dst, P payload, bool on_server) {
     send_raw_unicast(make_message(kind, id_, dst, std::move(payload)), on_server);
   }
+  /// `group` keys the multicast group: the sharded-hub medium hashes it to
+  /// a shard, so traffic for disjoint groups rides independent media.  The
+  /// RSE engine keys round traffic by page; control traffic uses group 0.
   template <typename P>
-  void send_multicast(MsgKind kind, P payload, bool on_server) {
-    send_raw_multicast(make_message(kind, id_, net::kMulticastDst, std::move(payload)),
-                       on_server);
+  void send_multicast(MsgKind kind, P payload, bool on_server, std::uint64_t group = 0) {
+    net::Message m = make_message(kind, id_, net::kMulticastDst, std::move(payload));
+    m.mcast_group = group;
+    send_raw_multicast(std::move(m), on_server);
   }
 
   /// RSE integration.
@@ -305,6 +309,11 @@ class Cluster {
 
   /// Aggregate statistics over all nodes.
   [[nodiscard]] PhaseCounters total(Phase p) const;
+
+  /// Per-shard multicast occupancy over the whole run (both phases):
+  /// frames/bytes charged by the protocol layer plus medium busy time from
+  /// the transport.  Size equals the backend's shard count.
+  [[nodiscard]] std::vector<HubOccupancy> hub_occupancy() const;
 
   /// The RSE engine attachment point (one controller per cluster).  The
   /// hooks' message handlers are registered with the dispatch registry on

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/clock.hpp"
 #include "util/stats_accum.hpp"
@@ -15,6 +16,28 @@ namespace repseq::tmk {
 enum class Phase : std::uint8_t {
   Sequential,  // between a join and the next fork (includes program init)
   Parallel,    // between a fork and its join
+};
+
+/// Multicast wire traffic charged to one shard of the multicast medium
+/// (one entry per serialization domain; single-medium backends have one).
+struct ShardCounters {
+  std::uint64_t mcast_msgs = 0;
+  std::uint64_t mcast_bytes = 0;
+
+  void merge(const ShardCounters& o) {
+    mcast_msgs += o.mcast_msgs;
+    mcast_bytes += o.mcast_bytes;
+  }
+};
+
+/// One shard's aggregate occupancy over a whole run: the frames/bytes the
+/// protocol layer put on it plus the time the medium spent transmitting
+/// (busy cycles).  Benches report max-per-shard busy to show whether the
+/// medium -- not the protocol -- is the serialization bottleneck.
+struct HubOccupancy {
+  std::uint64_t mcast_msgs = 0;
+  std::uint64_t mcast_bytes = 0;
+  sim::SimDuration busy{};
 };
 
 /// Counters for one node within one phase class.
@@ -35,6 +58,15 @@ struct PhaseCounters {
   /// Total time this node spent blocked in fault handling.
   sim::SimDuration fault_wait{};
 
+  /// Multicast frames/bytes by medium shard (index = shard id; grown on
+  /// demand to the active backend's shard count).
+  std::vector<ShardCounters> shard_traffic;
+
+  ShardCounters& shard(std::size_t s) {
+    if (shard_traffic.size() <= s) shard_traffic.resize(s + 1);
+    return shard_traffic[s];
+  }
+
   void merge(const PhaseCounters& o) {
     msgs_sent += o.msgs_sent;
     bytes_sent += o.bytes_sent;
@@ -47,6 +79,9 @@ struct PhaseCounters {
     recoveries += o.recoveries;
     response_ms.merge(o.response_ms);
     fault_wait += o.fault_wait;
+    for (std::size_t s = 0; s < o.shard_traffic.size(); ++s) {
+      shard(s).merge(o.shard_traffic[s]);
+    }
   }
 };
 

@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "apps/harness/run_modes.hpp"
@@ -12,17 +13,194 @@
 namespace repseq::net {
 namespace {
 
-constexpr TransportKind kAllTransports[] = {
-    TransportKind::HubSwitch, TransportKind::TreeMulticast, TransportKind::DirectAll};
+// ---------------------------------------------------------------------------
+// Transport-conformance suite
+//
+// Every backend variant is run through the same contract tests (delivery
+// set, per-receiver monotone times, unicast independence, loss pruning), so
+// a future backend inherits them by adding one line here.
+// ---------------------------------------------------------------------------
 
-Message make_msg(NodeId src, NodeId dst, std::size_t bytes, std::uint32_t kind = 0) {
+struct Backend {
+  TransportKind kind;
+  std::size_t shards;  // hub_shards; meaningful for ShardedHub only
+};
+
+constexpr Backend kBackends[] = {
+    {TransportKind::HubSwitch, 1},   {TransportKind::TreeMulticast, 1},
+    {TransportKind::DirectAll, 1},   {TransportKind::ShardedHub, 1},
+    {TransportKind::ShardedHub, 2},  {TransportKind::ShardedHub, 4},
+};
+
+NetConfig config_for(const Backend& b) {
+  NetConfig cfg;
+  cfg.transport = b.kind;
+  cfg.hub_shards = b.shards;
+  return cfg;
+}
+
+std::string backend_name(const Backend& b) {
+  switch (b.kind) {
+    case TransportKind::HubSwitch:
+      return "HubSwitch";
+    case TransportKind::TreeMulticast:
+      return "TreeMulticast";
+    case TransportKind::DirectAll:
+      return "DirectAll";
+    case TransportKind::ShardedHub:
+      return "ShardedHub" + std::to_string(b.shards);
+  }
+  return "Unknown";
+}
+
+/// True multicast media put one frame on the wire per group send.
+bool single_frame_medium(TransportKind k) {
+  return k == TransportKind::HubSwitch || k == TransportKind::ShardedHub;
+}
+
+Message make_msg(NodeId src, NodeId dst, std::size_t bytes, std::uint32_t kind = 0,
+                 std::uint64_t group = 0) {
   Message m;
   m.src = src;
   m.dst = dst;
   m.kind = kind;
   m.payload_bytes = bytes;
+  m.mcast_group = group;
   return m;
 }
+
+class TransportConformance : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TransportConformance, ::testing::ValuesIn(kBackends),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return backend_name(info.param);
+                         });
+
+TEST_P(TransportConformance, MulticastDeliverySetComplete) {
+  constexpr std::size_t kNodes = 8;
+  constexpr NodeId kSrc = 2;
+  sim::Engine eng;
+  Network nw(eng, config_for(GetParam()), kNodes);
+  std::set<NodeId> got;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    if (n == kSrc) continue;
+    eng.spawn("rx" + std::to_string(n), [&nw, &got, n] {
+      (void)nw.nic(n).inbox().pop();
+      got.insert(n);
+    });
+  }
+  eng.spawn("tx", [&] { nw.multicast(make_msg(kSrc, kMulticastDst, 4000, 0, /*group=*/7)); });
+  eng.run();
+  std::set<NodeId> expect;
+  for (NodeId n = 0; n < kNodes; ++n) {
+    if (n != kSrc) expect.insert(n);
+  }
+  EXPECT_EQ(got, expect);
+  // Wire accounting: one frame on a multicast medium, one frame per edge on
+  // the unicast-composed backends.
+  const std::uint64_t frames = single_frame_medium(GetParam().kind) ? 1 : kNodes - 1;
+  EXPECT_EQ(nw.messages_sent(), frames);
+  EXPECT_EQ(nw.deliveries(), kNodes - 1);
+}
+
+TEST_P(TransportConformance, MulticastDeliveryTimesMonotonePerReceiver) {
+  // Successive group sends must arrive at every receiver in send order, at
+  // strictly increasing times, never before the send instant -- on every
+  // backend.  All frames ride ONE group: FIFO ordering is a per-group
+  // contract (frames for disjoint groups may legally travel concurrently
+  // on the sharded hub -- see ShardedHub.DistinctGroupsRideIndependentMedia).
+  constexpr std::size_t kNodes = 6;
+  constexpr int kFrames = 3;
+  sim::Engine eng;
+  Network nw(eng, config_for(GetParam()), kNodes);
+  std::map<NodeId, std::vector<sim::SimTime>> arrivals;
+  sim::SimTime last_send{};
+  for (NodeId n = 1; n < kNodes; ++n) {
+    eng.spawn("rx" + std::to_string(n), [&nw, &arrivals, &eng, n] {
+      for (int i = 0; i < kFrames; ++i) {
+        (void)nw.nic(n).inbox().pop();
+        arrivals[n].push_back(eng.now());
+      }
+    });
+  }
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < kFrames; ++i) {
+      // Same group for all frames: ordering holds per shard; a FIFO group
+      // stream must stay FIFO no matter which shard carries it.
+      nw.multicast(make_msg(0, kMulticastDst, 3000, 0, /*group=*/11));
+      last_send = eng.now();
+    }
+  });
+  eng.run();
+  for (NodeId n = 1; n < kNodes; ++n) {
+    ASSERT_EQ(arrivals[n].size(), static_cast<std::size_t>(kFrames));
+    EXPECT_GE(arrivals[n].front(), last_send);
+    for (int i = 1; i < kFrames; ++i) {
+      EXPECT_LT(arrivals[n][i - 1], arrivals[n][i]) << "receiver " << n << " frame " << i;
+    }
+  }
+}
+
+TEST_P(TransportConformance, UnicastPathIndependentOfBackend) {
+  // Point-to-point always rides the switch; the backend choice must not
+  // perturb unicast delivery times.  Compare against a HubSwitch baseline.
+  const auto run_unicasts = [](const NetConfig& cfg) {
+    sim::Engine eng;
+    Network nw(eng, cfg, 4);
+    eng.spawn("rx", [&] {
+      for (int i = 0; i < 3; ++i) (void)nw.nic(1).inbox().pop();
+    });
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 3; ++i) nw.unicast(make_msg(0, 1, 5000));
+    });
+    eng.run();
+    return eng.now().ns;
+  };
+  EXPECT_EQ(run_unicasts(config_for(GetParam())), run_unicasts(NetConfig{}));
+}
+
+TEST_P(TransportConformance, FullLossPrunesEveryDelivery) {
+  // With loss probability 1 nothing may reach an inbox, every attempted
+  // delivery consumes exactly one loss-RNG draw, and store-and-forward
+  // backends may cut subtrees off without charging frames for them.
+  constexpr std::size_t kNodes = 8;
+  sim::Engine eng;
+  NetConfig cfg = config_for(GetParam());
+  cfg.loss_probability = 1.0;
+  Network nw(eng, cfg, kNodes);
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 1000)); });
+  eng.run();
+  EXPECT_EQ(nw.deliveries(), 0u);
+  EXPECT_EQ(nw.total_drops(), 0u);
+  EXPECT_GE(nw.losses_injected(), 1u);
+  EXPECT_LE(nw.losses_injected(), kNodes - 1);
+  EXPECT_LE(nw.messages_sent(), kNodes - 1);
+}
+
+TEST_P(TransportConformance, DeterministicAcrossRuns) {
+  const auto run_once = [this] {
+    sim::Engine eng;
+    Network nw(eng, config_for(GetParam()), 6);
+    for (NodeId n = 1; n < 6; ++n) {
+      eng.spawn("rx" + std::to_string(n), [&nw, n] {
+        for (int i = 0; i < 6; ++i) (void)nw.nic(n).inbox().pop();
+      });
+    }
+    eng.spawn("tx", [&] {
+      for (int i = 0; i < 5; ++i) {
+        for (NodeId n = 1; n < 6; ++n) nw.unicast(make_msg(0, n, 1000 + 100 * n));
+      }
+      nw.multicast(make_msg(0, kMulticastDst, 2000, 0, /*group=*/3));
+    });
+    eng.run();
+    return std::pair{eng.now().ns, nw.bytes_sent()};
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Config plumbing
+// ---------------------------------------------------------------------------
 
 TEST(NetConfig, WireBytesAddsPerFragmentHeaders) {
   NetConfig cfg;
@@ -33,6 +211,39 @@ TEST(NetConfig, WireBytesAddsPerFragmentHeaders) {
   EXPECT_EQ(cfg.wire_bytes(1458), 1500u);     // exactly one full fragment
   EXPECT_EQ(cfg.wire_bytes(1459), 1459u + 84u);  // two fragments
 }
+
+TEST(Transport, ParseAndNameRoundTrip) {
+  for (TransportKind k : {TransportKind::HubSwitch, TransportKind::TreeMulticast,
+                          TransportKind::DirectAll, TransportKind::ShardedHub}) {
+    const auto parsed = parse_transport(transport_name(k));
+    ASSERT_TRUE(parsed.has_value()) << transport_name(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_EQ(parse_transport("hub"), TransportKind::HubSwitch);
+  EXPECT_EQ(parse_transport("tree"), TransportKind::TreeMulticast);
+  EXPECT_EQ(parse_transport("direct"), TransportKind::DirectAll);
+  EXPECT_EQ(parse_transport("sharded"), TransportKind::ShardedHub);
+  EXPECT_FALSE(parse_transport("carrier-pigeon").has_value());
+}
+
+TEST(Transport, ShardHashDeterministicAndInRange) {
+  for (std::size_t shards : {1u, 2u, 4u, 7u}) {
+    for (std::uint64_t g = 0; g < 256; ++g) {
+      const std::size_t s = shard_of(g, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, shard_of(g, shards));  // stable
+    }
+  }
+  // The mix must actually disperse: 256 consecutive groups over 4 shards
+  // hit every shard.
+  std::set<std::size_t> hit;
+  for (std::uint64_t g = 0; g < 256; ++g) hit.insert(shard_of(g, 4));
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Facade behaviors (backend-independent, run on the default backend)
+// ---------------------------------------------------------------------------
 
 TEST(Network, UnicastDeliversWithLatency) {
   sim::Engine eng;
@@ -144,6 +355,26 @@ TEST(Network, ReceiveBufferOverflowDrops) {
   EXPECT_EQ(nw.total_drops(), 6u);
 }
 
+TEST(Network, OverflowDropFilterSparesReliableTraffic) {
+  // Mirrors the loss filter: messages the filter rejects are admitted even
+  // past ring capacity (kernel-retried sync traffic), droppable ones are
+  // not.  The DSM layer relies on this to keep fork/join alive while
+  // concurrent sharded rounds flood the rings with diff traffic.
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.recv_buffer_msgs = 4;
+  Network nw(eng, cfg, 3);
+  constexpr std::uint32_t kReliable = 7;
+  nw.set_drop_filter([](const Message& m) { return m.kind != kReliable; });
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < 10; ++i) nw.unicast(make_msg(0, 2, 100));       // droppable
+    for (int i = 0; i < 3; ++i) nw.unicast(make_msg(0, 2, 100, kReliable));
+  });
+  eng.run();
+  EXPECT_EQ(nw.nic(2).drops(), 6u);     // droppable overflow still counts
+  EXPECT_EQ(nw.nic(2).backlog(), 7u);   // 4 ring slots + 3 reliable frames
+}
+
 TEST(Network, LossInjectionDropsSomeDeliveries) {
   sim::Engine eng;
   NetConfig cfg;
@@ -186,87 +417,9 @@ TEST(Network, SendTapObservesTraffic) {
   EXPECT_EQ(tapped_mcast, 1);
 }
 
-TEST(Transport, ParseAndNameRoundTrip) {
-  for (TransportKind k : kAllTransports) {
-    const auto parsed = parse_transport(transport_name(k));
-    ASSERT_TRUE(parsed.has_value()) << transport_name(k);
-    EXPECT_EQ(*parsed, k);
-  }
-  EXPECT_EQ(parse_transport("hub"), TransportKind::HubSwitch);
-  EXPECT_EQ(parse_transport("tree"), TransportKind::TreeMulticast);
-  EXPECT_EQ(parse_transport("direct"), TransportKind::DirectAll);
-  EXPECT_FALSE(parse_transport("carrier-pigeon").has_value());
-}
-
-TEST(Transport, MulticastDeliverySetIdenticalAcrossBackends) {
-  constexpr std::size_t kNodes = 8;
-  constexpr NodeId kSrc = 2;
-  for (TransportKind k : kAllTransports) {
-    sim::Engine eng;
-    NetConfig cfg;
-    cfg.transport = k;
-    Network nw(eng, cfg, kNodes);
-    std::set<NodeId> got;
-    for (NodeId n = 0; n < kNodes; ++n) {
-      if (n == kSrc) continue;
-      eng.spawn("rx" + std::to_string(n), [&nw, &got, n] {
-        (void)nw.nic(n).inbox().pop();
-        got.insert(n);
-      });
-    }
-    eng.spawn("tx", [&] { nw.multicast(make_msg(kSrc, kMulticastDst, 4000)); });
-    eng.run();
-    std::set<NodeId> expect;
-    for (NodeId n = 0; n < kNodes; ++n) {
-      if (n != kSrc) expect.insert(n);
-    }
-    EXPECT_EQ(got, expect) << transport_name(k);
-    // Wire accounting: one frame on the hub medium, one frame per edge on
-    // the unicast-composed backends.
-    const std::uint64_t frames = k == TransportKind::HubSwitch ? 1 : kNodes - 1;
-    EXPECT_EQ(nw.messages_sent(), frames) << transport_name(k);
-    EXPECT_EQ(nw.deliveries(), kNodes - 1) << transport_name(k);
-  }
-}
-
-TEST(Transport, MulticastDeliveryTimesMonotonePerReceiver) {
-  // Successive group sends must arrive at every receiver in send order, at
-  // strictly increasing times, never before the send instant -- on every
-  // backend.
-  constexpr std::size_t kNodes = 6;
-  constexpr int kFrames = 3;
-  for (TransportKind k : kAllTransports) {
-    sim::Engine eng;
-    NetConfig cfg;
-    cfg.transport = k;
-    Network nw(eng, cfg, kNodes);
-    std::map<NodeId, std::vector<sim::SimTime>> arrivals;
-    sim::SimTime last_send{};
-    for (NodeId n = 1; n < kNodes; ++n) {
-      eng.spawn("rx" + std::to_string(n), [&nw, &arrivals, &eng, n] {
-        for (int i = 0; i < kFrames; ++i) {
-          (void)nw.nic(n).inbox().pop();
-          arrivals[n].push_back(eng.now());
-        }
-      });
-    }
-    eng.spawn("tx", [&] {
-      for (int i = 0; i < kFrames; ++i) {
-        nw.multicast(make_msg(0, kMulticastDst, 3000));
-        last_send = eng.now();
-      }
-    });
-    eng.run();
-    for (NodeId n = 1; n < kNodes; ++n) {
-      ASSERT_EQ(arrivals[n].size(), static_cast<std::size_t>(kFrames)) << transport_name(k);
-      EXPECT_GE(arrivals[n].front(), last_send) << transport_name(k);
-      for (int i = 1; i < kFrames; ++i) {
-        EXPECT_LT(arrivals[n][i - 1], arrivals[n][i])
-            << transport_name(k) << " receiver " << n << " frame " << i;
-      }
-    }
-  }
-}
+// ---------------------------------------------------------------------------
+// Backend-specific behaviors
+// ---------------------------------------------------------------------------
 
 TEST(Transport, TreeMulticastForwardsThroughInteriorNodes) {
   // Fanout 2, sender 0, 8 nodes: node 1 and 2 are root children; nodes 3-6
@@ -292,6 +445,52 @@ TEST(Transport, TreeMulticastForwardsThroughInteriorNodes) {
   EXPECT_LT(at[2], at[5]);
   EXPECT_LT(at[2], at[6]);
   EXPECT_LT(at[3], at[7]);  // depth 2 before depth 3
+}
+
+TEST(Transport, TreeMulticastInteriorOrderingApproximationPinned) {
+  // REGRESSION PIN for the documented approximation in
+  // tree_multicast_transport.cpp (ROADMAP: "event-driven tree forwarding"):
+  // all edge reservations are placed at send time, so an interior node's
+  // UNRELATED unicast issued during the propagation window queues BEHIND
+  // forwards it has not even received yet.
+  //
+  // Node 1 (a root child, forwarding to nodes 3 and 4) issues a unicast to
+  // node 7 at t=0, before the multicast frame can possibly have reached it.
+  // Under exact event-driven forwarding that unicast would leave node 1's
+  // uplink first and land BEFORE the forwards; under the approximation it
+  // queues after both forward reservations and lands AFTER them.  The
+  // eventual fix must flip the two EXPECT_GT assertions to EXPECT_LT (and
+  // revisit the deferred frame accounting).
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.transport = TransportKind::TreeMulticast;
+  cfg.mcast_tree_fanout = 2;
+  Network nw(eng, cfg, 8);
+  constexpr std::uint32_t kUniKind = 42;
+  std::map<NodeId, sim::SimTime> mcast_at;
+  sim::SimTime uni_at{};
+  for (NodeId n = 1; n < 8; ++n) {
+    eng.spawn("rx" + std::to_string(n), [&nw, &mcast_at, &uni_at, &eng, n] {
+      const int frames = n == 7 ? 2 : 1;  // node 7 also gets the unicast
+      for (int i = 0; i < frames; ++i) {
+        const Message m = nw.nic(n).inbox().pop();
+        if (m.kind == kUniKind) {
+          uni_at = eng.now();
+        } else {
+          mcast_at[n] = eng.now();
+        }
+      }
+    });
+  }
+  eng.spawn("mc", [&] { nw.multicast(make_msg(0, kMulticastDst, 4000)); });
+  eng.spawn("uni", [&] { nw.unicast(make_msg(1, 7, 4000, kUniKind)); });
+  eng.run();
+  ASSERT_GT(uni_at.ns, 0);
+  ASSERT_EQ(mcast_at.size(), 7u);
+  // The approximation: node 1's own unicast is misordered behind the two
+  // forwards reserved on its uplink at multicast-send time.
+  EXPECT_GT(uni_at, mcast_at[3]);
+  EXPECT_GT(uni_at, mcast_at[4]);
 }
 
 TEST(Transport, DirectAllSerializesFanOutOnSourceUplink) {
@@ -338,47 +537,143 @@ TEST(Transport, TreeMulticastLossCutsOffSubtrees) {
   EXPECT_EQ(nw.messages_sent(), 2u);     // only those frames hit the wire
 }
 
-TEST(Transport, UnicastPathIdenticalAcrossBackends) {
-  // Point-to-point always rides the switch; the backend choice must not
-  // perturb unicast delivery times.
-  std::vector<std::int64_t> finish;
-  for (TransportKind k : kAllTransports) {
-    sim::Engine eng;
-    NetConfig cfg;
-    cfg.transport = k;
-    Network nw(eng, cfg, 4);
-    eng.spawn("rx", [&] {
-      for (int i = 0; i < 3; ++i) (void)nw.nic(1).inbox().pop();
+// ---------------------------------------------------------------------------
+// Sharded hub
+// ---------------------------------------------------------------------------
+
+/// Runs the same mixed unicast/multicast script on `cfg`; returns every
+/// (receiver, arrival) pair in arrival order plus the facade counters.
+struct Trace {
+  std::vector<std::tuple<NodeId, std::int64_t>> arrivals;
+  std::uint64_t msgs;
+  std::uint64_t bytes;
+  std::uint64_t deliveries;
+  std::int64_t finish_ns;
+
+  bool operator==(const Trace&) const = default;
+};
+
+Trace run_script(NetConfig cfg) {
+  constexpr std::size_t kNodes = 6;
+  sim::Engine eng;
+  Network nw(eng, cfg, kNodes);
+  Trace t{};
+  for (NodeId n = 0; n < kNodes; ++n) {
+    eng.spawn("rx" + std::to_string(n), [&nw, &t, &eng, n] {
+      // 4 multicasts reach everyone but their sender (node 0 sends 3, node
+      // 1 sends 1) plus one unicast to node 2.
+      int frames = n == 0 ? 1 : (n == 1 ? 3 : 4);
+      if (n == 2) ++frames;
+      for (int i = 0; i < frames; ++i) {
+        (void)nw.nic(n).inbox().pop();
+        t.arrivals.emplace_back(n, eng.now().ns);
+      }
     });
-    eng.spawn("tx", [&] {
-      for (int i = 0; i < 3; ++i) nw.unicast(make_msg(0, 1, 5000));
-    });
-    eng.run();
-    finish.push_back(eng.now().ns);
   }
-  EXPECT_EQ(finish[0], finish[1]);
-  EXPECT_EQ(finish[0], finish[2]);
+  eng.spawn("tx", [&] {
+    nw.multicast(make_msg(0, kMulticastDst, 8000, 0, /*group=*/1));
+    nw.unicast(make_msg(0, 2, 3000));
+    nw.multicast(make_msg(0, kMulticastDst, 8000, 0, /*group=*/2));
+    nw.multicast(make_msg(0, kMulticastDst, 8000, 0, /*group=*/3));
+  });
+  eng.spawn("tx1", [&] { nw.multicast(make_msg(1, kMulticastDst, 5000, 0, /*group=*/4)); });
+  eng.run();
+  t.msgs = nw.messages_sent();
+  t.bytes = nw.bytes_sent();
+  t.deliveries = nw.deliveries();
+  t.finish_ns = eng.now().ns;
+  return t;
 }
 
-TEST(Network, DeterministicAcrossRuns) {
-  auto run_once = [] {
+TEST(ShardedHub, SingleShardFrameForFrameIdenticalToHubSwitch) {
+  // S = 1 must be indistinguishable from HubSwitch on the wire: same
+  // arrival instants at every receiver, same counters, same finish time.
+  // Any drift is a bug in the per-shard plumbing.
+  NetConfig hub;
+  hub.transport = TransportKind::HubSwitch;
+  NetConfig sharded1;
+  sharded1.transport = TransportKind::ShardedHub;
+  sharded1.hub_shards = 1;
+  EXPECT_EQ(run_script(sharded1), run_script(hub));
+}
+
+TEST(ShardedHub, DistinctGroupsRideIndependentMedia) {
+  // Two concurrent multicasts whose groups land on different shards must
+  // not serialize: both arrive at the same instant.  On HubSwitch the same
+  // pair is spaced by one full hub serialization.
+  std::uint64_t g0 = 0;
+  std::uint64_t g1 = 1;
+  while (shard_of(g1, 4) == shard_of(g0, 4)) ++g1;
+
+  const auto arrivals_at = [&](NetConfig cfg) {
     sim::Engine eng;
-    Network nw(eng, NetConfig{}, 6);
-    for (NodeId n = 1; n < 6; ++n) {
+    Network nw(eng, cfg, 4);
+    std::vector<std::int64_t> at;
+    eng.spawn("rx", [&] {
+      for (int i = 0; i < 2; ++i) {
+        (void)nw.nic(3).inbox().pop();
+        at.push_back(eng.now().ns);
+      }
+    });
+    eng.spawn("tx0", [&, g0] { nw.multicast(make_msg(0, kMulticastDst, 10000, 0, g0)); });
+    eng.spawn("tx1", [&, g1] { nw.multicast(make_msg(1, kMulticastDst, 10000, 0, g1)); });
+    eng.run();
+    return at;
+  };
+
+  NetConfig sharded;
+  sharded.transport = TransportKind::ShardedHub;
+  sharded.hub_shards = 4;
+  const auto spread = arrivals_at(sharded);
+  ASSERT_EQ(spread.size(), 2u);
+  EXPECT_EQ(spread[0], spread[1]) << "disjoint shards must not serialize";
+
+  const auto serialized = arrivals_at(NetConfig{});  // single hub
+  ASSERT_EQ(serialized.size(), 2u);
+  const double leg = (10000 + 7 * 42) / 12.5e6 * 1e9;
+  EXPECT_NEAR(static_cast<double>(serialized[1] - serialized[0]), leg, 1000.0);
+}
+
+TEST(ShardedHub, ShardBusyConservesSingleHubTotal) {
+  // Spreading traffic over shards redistributes busy time but never
+  // creates or destroys it: the sum over shards equals the single hub's
+  // busy for the same frames, and more than one shard does real work.
+  const auto run_groups = [](NetConfig cfg) {
+    sim::Engine eng;
+    Network nw(eng, cfg, 4);
+    for (NodeId n = 1; n < 4; ++n) {
       eng.spawn("rx" + std::to_string(n), [&nw, n] {
-        for (int i = 0; i < 5; ++i) (void)nw.nic(n).inbox().pop();
+        for (int i = 0; i < 16; ++i) (void)nw.nic(n).inbox().pop();
       });
     }
     eng.spawn("tx", [&] {
-      for (int i = 0; i < 5; ++i) {
-        for (NodeId n = 1; n < 6; ++n) nw.unicast(make_msg(0, n, 1000 + 100 * n));
+      for (std::uint64_t g = 0; g < 16; ++g) {
+        nw.multicast(make_msg(0, kMulticastDst, 4000, 0, g));
       }
     });
     eng.run();
-    return eng.now().ns;
+    sim::SimDuration total{};
+    std::size_t active = 0;
+    for (std::size_t s = 0; s < nw.hub_shards(); ++s) {
+      total += nw.hub_busy(s);
+      if (nw.hub_busy(s).ns > 0) ++active;
+    }
+    return std::pair{total, active};
   };
-  EXPECT_EQ(run_once(), run_once());
+
+  NetConfig sharded;
+  sharded.transport = TransportKind::ShardedHub;
+  sharded.hub_shards = 4;
+  const auto [sharded_total, sharded_active] = run_groups(sharded);
+  const auto [hub_total, hub_active] = run_groups(NetConfig{});
+  EXPECT_EQ(sharded_total, hub_total);
+  EXPECT_EQ(hub_active, 1u);
+  EXPECT_GT(sharded_active, 1u);
 }
+
+// ---------------------------------------------------------------------------
+// Protocol-level cross-backend checksum matrix
+// ---------------------------------------------------------------------------
 
 TEST(TransportProtocolMatrix, ChecksumsIdenticalAcrossModesFlowsAndTransports) {
   // Every run Mode and every RSE FlowControl variant must compute the same
@@ -388,27 +683,31 @@ TEST(TransportProtocolMatrix, ChecksumsIdenticalAcrossModesFlowsAndTransports) {
   apps::bh::BhConfig bh;
   bh.bodies = 256;
   bh.steps = 1;
-  const auto checksum_of = [&](Mode m, TransportKind k, rse::FlowControl f) {
+  const auto checksum_of = [&](Mode m, const Backend& b, rse::FlowControl f) {
     apps::harness::RunOptions o;
     o.mode = m;
     o.nodes = 4;
     o.flow = f;
-    o.net.transport = k;
+    o.net = config_for(b);
     const auto report = apps::harness::run_barnes_hut(o, bh);
-    EXPECT_STREQ(report.transport, transport_name(k));
+    EXPECT_STREQ(report.transport, transport_name(b.kind));
     return report.checksum;
   };
 
-  const double ref =
-      checksum_of(Mode::Sequential, TransportKind::HubSwitch, rse::FlowControl::Chained);
-  for (TransportKind k : kAllTransports) {
+  constexpr Backend kMatrixBackends[] = {{TransportKind::HubSwitch, 1},
+                                         {TransportKind::TreeMulticast, 1},
+                                         {TransportKind::DirectAll, 1},
+                                         {TransportKind::ShardedHub, 4}};
+  const double ref = checksum_of(Mode::Sequential, {TransportKind::HubSwitch, 1},
+                                 rse::FlowControl::Chained);
+  for (const Backend& b : kMatrixBackends) {
     for (Mode m : {Mode::Original, Mode::Optimized, Mode::BroadcastSeq}) {
-      EXPECT_EQ(checksum_of(m, k, rse::FlowControl::Chained), ref)
-          << apps::harness::mode_name(m) << " on " << transport_name(k);
+      EXPECT_EQ(checksum_of(m, b, rse::FlowControl::Chained), ref)
+          << apps::harness::mode_name(m) << " on " << backend_name(b);
     }
     for (rse::FlowControl f : {rse::FlowControl::Windowed, rse::FlowControl::None}) {
-      EXPECT_EQ(checksum_of(Mode::Optimized, k, f), ref)
-          << "Optimized/" << apps::harness::flow_name(f) << " on " << transport_name(k);
+      EXPECT_EQ(checksum_of(Mode::Optimized, b, f), ref)
+          << "Optimized/" << apps::harness::flow_name(f) << " on " << backend_name(b);
     }
   }
 }

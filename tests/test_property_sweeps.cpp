@@ -4,7 +4,9 @@
 // page boundaries must behave like plain ones.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "ompnow/team.hpp"
 #include "rse/controller.hpp"
@@ -183,6 +185,110 @@ TEST(StructuredAccess, ElementsSpanningPageBoundaries) {
   for (int i = 0; i < 128; ++i) expect += 6.0 * i;
   EXPECT_DOUBLE_EQ(total, expect);
 }
+
+// ---------------------------------------------------------------------------
+// Shard-count axis: sharding the multicast medium may change timing, never
+// results.  Final heap checksums and interval vectors (per-node vector
+// clocks) must be invariant across S and identical to the single-hub run,
+// for every flow-control variant.
+// ---------------------------------------------------------------------------
+
+struct ShardRunResult {
+  long checksum = 0;
+  std::vector<VectorClock> interval_vectors;
+
+  bool operator==(const ShardRunResult&) const = default;
+};
+
+ShardRunResult run_replicated_stencil(const net::NetConfig& ncfg, rse::FlowControl flow) {
+  constexpr std::size_t kNodes = 5;
+  constexpr std::size_t kElems = 4096;  // 32 KB over 1 KB pages = 32 groups
+  TmkConfig cfg;
+  cfg.page_bytes = 1024;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, ncfg, kNodes);
+  rse::RseController rse(cl, flow);
+  ompnow::Team team(cl, SeqMode::Replicated, &rse);
+  auto a = ShArray<long>::alloc(cl, kElems, /*page_aligned=*/true);
+
+  ShardRunResult out;
+  cl.run([&](NodeRuntime&) {
+    team.parallel_for(0, kElems, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      a.store(static_cast<std::size_t>(i), 3 * i + 1);
+    });
+    // Replicated sequential section: every node faults on every other
+    // node's pages, one RSE round per page spread over the shards.
+    team.sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < kElems; ++i) a.store(i, a.load(i) % 1000003 + 7);
+    });
+    team.parallel_for(0, kElems, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+      a.store(static_cast<std::size_t>(i), a.load(static_cast<std::size_t>(i)) * 2);
+    });
+    team.sequential([&](const Ctx&) {
+      long s = 0;
+      for (std::size_t i = 0; i < kElems; ++i) s += a.load(i);
+      out.checksum = s;
+    });
+  });
+  for (net::NodeId n = 0; n < kNodes; ++n) {
+    out.interval_vectors.push_back(cl.node(n).vc());
+  }
+
+  // Per-shard accounting consistency: the protocol layer's frame/byte
+  // counters must agree with the transport's busy time shard by shard --
+  // a shard carried frames if and only if its medium transmitted.
+  const std::vector<HubOccupancy> occ = cl.hub_occupancy();
+  EXPECT_EQ(occ.size(), cl.network().hub_shards());
+  std::uint64_t frames_total = 0;
+  for (std::size_t s = 0; s < occ.size(); ++s) {
+    EXPECT_EQ(occ[s].mcast_msgs > 0, occ[s].busy.ns > 0) << "shard " << s;
+    EXPECT_EQ(occ[s].mcast_msgs > 0, occ[s].mcast_bytes > 0) << "shard " << s;
+    frames_total += occ[s].mcast_msgs;
+  }
+  EXPECT_GT(frames_total, 0u) << "replicated section must multicast";
+  return out;
+}
+
+class ShardCountSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, rse::FlowControl>> {};
+
+TEST_P(ShardCountSweep, ChecksumAndIntervalVectorsInvariantAcrossShards) {
+  const auto [shards, flow] = GetParam();
+
+  net::NetConfig hub;  // single-hub reference
+  hub.transport = net::TransportKind::HubSwitch;
+  const ShardRunResult ref = run_replicated_stencil(hub, flow);
+
+  net::NetConfig sharded;
+  sharded.transport = net::TransportKind::ShardedHub;
+  sharded.hub_shards = shards;
+  const ShardRunResult got = run_replicated_stencil(sharded, flow);
+
+  EXPECT_EQ(got.checksum, ref.checksum) << "S=" << shards;
+  EXPECT_EQ(got.interval_vectors, ref.interval_vectors) << "S=" << shards;
+
+  // Host-side golden value: the workload is deterministic arithmetic.
+  std::vector<long> h(4096);
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = 3 * static_cast<long>(i) + 1;
+  for (auto& v : h) v = v % 1000003 + 7;
+  long golden = 0;
+  for (auto& v : h) golden += 2 * v;
+  EXPECT_EQ(got.checksum, golden);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByFlow, ShardCountSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(rse::FlowControl::Chained, rse::FlowControl::Windowed,
+                                         rse::FlowControl::None)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, rse::FlowControl>>& info) {
+      const rse::FlowControl f = std::get<1>(info.param);
+      std::string name = "S" + std::to_string(std::get<0>(info.param));
+      name += f == rse::FlowControl::Chained    ? "Chained"
+              : f == rse::FlowControl::Windowed ? "Windowed"
+                                                : "None";
+      return name;
+    });
 
 // ---------------------------------------------------------------------------
 // Determinism across configurations
