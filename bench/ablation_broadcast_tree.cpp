@@ -31,7 +31,8 @@ int main() {
   bcast_opt.net.transport = bench_transport(net::TransportKind::TreeMulticast);
   const auto bcast = apps::harness::run_barnes_hut(bcast_opt, cfg);
   const auto opt = apps::harness::run_barnes_hut(options_for(Mode::Optimized), cfg);
-  std::printf("transports: %s / %s / %s\n", orig.transport, bcast.transport, opt.transport);
+  std::printf("transports: %s / %s / %s\n", orig.transport.c_str(), bcast.transport.c_str(),
+              opt.transport.c_str());
 
   if (orig.checksum != bcast.checksum || orig.checksum != opt.checksum) {
     std::printf("ERROR: checksums diverge across modes\n");

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "apps/harness/run_modes.hpp"
 #include "util/table.hpp"
@@ -45,6 +46,32 @@ inline net::TransportKind bench_transport(
 /// Shard count for the sharded-hub backend (REPSEQ_HUB_SHARDS=S).
 inline std::size_t bench_hub_shards() {
   return static_cast<std::size_t>(std::max(1L, env_long("HUB_SHARDS", 4)));
+}
+
+/// Adaptive-mode decision procedure: REPSEQ_POLICY=static|greedy|hysteresis
+/// (parsed by rse::policy::parse_policy, the single parser for the axis --
+/// the mode and flow axes live in apps::harness::parse_mode/parse_flow and
+/// the transport axis in net::parse_transport).
+inline rse::policy::PolicyKind bench_policy(
+    rse::policy::PolicyKind fallback = rse::policy::PolicyKind::Hysteresis) {
+  const char* v = std::getenv("REPSEQ_POLICY");
+  if (v != nullptr) {
+    const auto k = rse::policy::parse_policy(v);
+    if (k) return *k;
+    std::fprintf(stderr, "unknown REPSEQ_POLICY '%s' (static|greedy|hysteresis); using %s\n",
+                 v, rse::policy::policy_name(fallback));
+  }
+  return fallback;
+}
+
+/// Node counts for the cluster-size sweeps, capped by REPSEQ_NODES so CI
+/// smoke runs can bound their cost (e.g. REPSEQ_NODES=8 keeps {2,4,8}).
+inline std::vector<std::size_t> sweep_node_counts() {
+  std::vector<std::size_t> out;
+  for (std::size_t n : {2, 4, 8, 16, 24, 32}) {
+    if (n <= std::max<std::size_t>(2, bench_nodes())) out.push_back(n);
+  }
+  return out;
 }
 
 /// NetConfig with the env-selected transport + shard count applied.
@@ -82,6 +109,7 @@ inline apps::harness::RunOptions options_for(apps::harness::Mode mode,
   o.mode = mode;
   o.nodes = nodes;
   o.net = bench_net_config();
+  o.policy.kind = bench_policy();
   o.tmk.heap_bytes = static_cast<std::size_t>(env_long("HEAP_MB", 24)) << 20;
   return o;
 }

@@ -5,13 +5,25 @@
 // response time and an ASCII bar of the master's service backlog effect.
 //
 // Build & run:   ./build/examples/contention_explorer
+//                    [hub|tree|direct|sharded] [shards]
+//                    [--mode base|replicated|broadcast|adaptive]
+//                    [--policy static|greedy|hysteresis]
+//
+// --mode selects what the second column runs against the base system;
+// adaptive mode routes every section through the rse::policy engine and
+// reports its per-strategy decision counts.
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <string_view>
 
+#include "apps/harness/run_modes.hpp"
 #include "ompnow/team.hpp"
 #include "rse/controller.hpp"
+#include "rse/policy/policy_engine.hpp"
 #include "tmk/access.hpp"
 #include "tmk/runtime.hpp"
 
@@ -22,78 +34,161 @@ namespace {
 struct Sample {
   double avg_ms;
   double max_ms;
+  std::array<std::uint64_t, rse::policy::kStrategyCount> by_strategy{};
 };
 
-Sample probe(std::size_t nodes, bool replicated, const net::NetConfig& ncfg) {
+Sample probe(std::size_t nodes, ompnow::SeqMode mode, const net::NetConfig& ncfg,
+             const rse::policy::PolicyConfig& pcfg) {
   tmk::TmkConfig cfg;
   cfg.heap_bytes = 8u << 20;
   tmk::Cluster cl(cfg, ncfg, nodes);
   rse::RseController rse(cl, rse::FlowControl::Chained);
-  ompnow::Team team(cl, replicated ? ompnow::SeqMode::Replicated : ompnow::SeqMode::MasterOnly,
-                    &rse);
+  std::unique_ptr<rse::policy::PolicyEngine> policy;
+  if (mode == ompnow::SeqMode::Adaptive) {
+    policy = std::make_unique<rse::policy::PolicyEngine>(cl, pcfg);
+  }
+  ompnow::Team team(cl, mode, &rse, policy.get());
 
   constexpr std::size_t kIntsPerPage = 4096 / sizeof(int);
   const std::size_t elems = 64 * kIntsPerPage;  // 64 hot pages
   auto data = tmk::ShArray<int>::alloc(cl, elems, /*page_aligned=*/true);
 
   cl.run([&](tmk::NodeRuntime&) {
-    team.sequential([&](const ompnow::Ctx&) {
-      for (std::size_t i = 0; i < elems; ++i) data.store(i, static_cast<int>(i));
-    });
-    team.parallel([&](const ompnow::Ctx& ctx) {
-      const auto r = ompnow::block_range(0, static_cast<long>(elems), ctx.tid, ctx.nthreads);
-      long sum = 0;
-      for (long i = r.lo; i < r.hi; ++i) sum += data.load(static_cast<std::size_t>(i));
-      if (sum < 0) std::abort();  // keep the loop alive
-    });
+    // Two rounds, so an adaptive policy gets past its bootstrap probe and
+    // the steady-state decision shows in the second section.
+    for (int round = 0; round < 2; ++round) {
+      team.sequential(1, [&](const ompnow::Ctx&) {
+        for (std::size_t i = 0; i < elems; ++i) data.store(i, static_cast<int>(i));
+      });
+      team.parallel([&](const ompnow::Ctx& ctx) {
+        const auto r = ompnow::block_range(0, static_cast<long>(elems), ctx.tid, ctx.nthreads);
+        long sum = 0;
+        for (long i = r.lo; i < r.hi; ++i) sum += data.load(static_cast<std::size_t>(i));
+        if (sum < 0) std::abort();  // keep the loop alive
+      });
+    }
   });
 
   util::Accumulator acc;
   for (net::NodeId n = 0; n < nodes; ++n) {
     acc.merge(cl.node(n).stats().par.response_ms);
   }
-  return {acc.mean(), acc.max()};
+  Sample s{acc.mean(), acc.max(), {}};
+  if (policy) s.by_strategy = policy->strategy_counts();
+  return s;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [hub|tree|direct|sharded] [shards]\n"
+               "          [--mode base|replicated|broadcast|adaptive]\n"
+               "          [--policy static|greedy|hysteresis]\n",
+               argv0);
+  return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   net::NetConfig ncfg;
-  if (argc > 1) {
-    const auto kind = net::parse_transport(argv[1]);
-    if (!kind) {
-      std::fprintf(stderr, "usage: %s [hub|tree|direct|sharded] [shards]\n", argv[0]);
-      return 2;
+  ompnow::SeqMode mode = ompnow::SeqMode::Replicated;
+  rse::policy::PolicyConfig pcfg;
+  int positional = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--mode") {
+      if (++i >= argc) return usage(argv[0]);
+      const auto m = apps::harness::parse_mode(argv[i]);
+      if (!m) return usage(argv[0]);
+      switch (*m) {
+        case apps::harness::Mode::Original:
+          mode = ompnow::SeqMode::MasterOnly;
+          break;
+        case apps::harness::Mode::Optimized:
+          mode = ompnow::SeqMode::Replicated;
+          break;
+        case apps::harness::Mode::BroadcastSeq:
+          mode = ompnow::SeqMode::BroadcastAfter;
+          break;
+        case apps::harness::Mode::Adaptive:
+          mode = ompnow::SeqMode::Adaptive;
+          break;
+        case apps::harness::Mode::Sequential:
+          return usage(argv[0]);
+      }
+    } else if (arg == "--policy") {
+      if (++i >= argc) return usage(argv[0]);
+      const auto k = rse::policy::parse_policy(argv[i]);
+      if (!k) return usage(argv[0]);
+      pcfg.kind = *k;
+    } else if (positional == 0) {
+      const auto kind = net::parse_transport(arg);
+      if (!kind) return usage(argv[0]);
+      ncfg.transport = *kind;
+      ++positional;
+    } else if (positional == 1) {
+      const long shards = std::atol(argv[i]);
+      if (shards < 1) {
+        std::fprintf(stderr, "shard count must be >= 1, got '%s'\n", argv[i]);
+        return 2;
+      }
+      ncfg.hub_shards = static_cast<std::size_t>(shards);
+      ++positional;
+    } else {
+      return usage(argv[0]);
     }
-    ncfg.transport = *kind;
   }
-  if (argc > 2) {
-    const long shards = std::atol(argv[2]);
-    if (shards < 1) {
-      std::fprintf(stderr, "shard count must be >= 1, got '%s'\n", argv[2]);
-      return 2;
-    }
-    ncfg.hub_shards = static_cast<std::size_t>(shards);
+
+  const bool adaptive = mode == ompnow::SeqMode::Adaptive;
+  const char* right_label = "replicated avg/max (ms)";
+  switch (mode) {
+    case ompnow::SeqMode::MasterOnly:
+      right_label = "base avg/max (ms)";
+      break;
+    case ompnow::SeqMode::Replicated:
+      break;
+    case ompnow::SeqMode::BroadcastAfter:
+      right_label = "broadcast avg/max (ms)";
+      break;
+    case ompnow::SeqMode::Adaptive:
+      right_label = "adaptive avg/max (ms)";
+      break;
   }
   std::printf("Hot-spot response time vs cluster size (64 master-written pages)\n");
   if (ncfg.transport == net::TransportKind::ShardedHub) {
-    std::printf("transport: %s (%zu shards)\n\n", net::transport_name(ncfg.transport),
+    std::printf("transport: %s (%zu shards)", net::transport_name(ncfg.transport),
                 ncfg.hub_shards);
   } else {
-    std::printf("transport: %s\n\n", net::transport_name(ncfg.transport));
+    std::printf("transport: %s", net::transport_name(ncfg.transport));
   }
-  std::printf("%6s | %-28s | %-28s\n", "nodes", "base avg/max response (ms)",
-              "replicated avg/max (ms)");
+  if (adaptive) {
+    std::printf("   policy: %s", rse::policy::policy_name(pcfg.kind));
+  }
+  std::printf("\n\n");
+  std::printf("%6s | %-28s | %-28s\n", "nodes", "base avg/max response (ms)", right_label);
   std::printf("-------+------------------------------+-----------------------------\n");
   for (std::size_t nodes : {2, 4, 8, 16, 24, 32}) {
-    const Sample base = probe(nodes, false, ncfg);
-    const Sample repl = probe(nodes, true, ncfg);
+    const Sample base = probe(nodes, ompnow::SeqMode::MasterOnly, ncfg, pcfg);
+    const Sample opt = probe(nodes, mode, ncfg, pcfg);
     const int bar = std::min(24, static_cast<int>(base.avg_ms * 4.0));
-    std::printf("%6zu | %6.2f / %-7.2f %-12s | %6.2f / %.2f\n", nodes, base.avg_ms,
-                base.max_ms, std::string(static_cast<std::size_t>(bar), '#').c_str(),
-                repl.avg_ms, repl.max_ms);
+    std::printf("%6zu | %6.2f / %-7.2f %-12s | %6.2f / %.2f", nodes, base.avg_ms, base.max_ms,
+                std::string(static_cast<std::size_t>(bar), '#').c_str(), opt.avg_ms,
+                opt.max_ms);
+    if (adaptive) {
+      std::printf("   [m/r/b %llu/%llu/%llu]",
+                  static_cast<unsigned long long>(opt.by_strategy[0]),
+                  static_cast<unsigned long long>(opt.by_strategy[1]),
+                  static_cast<unsigned long long>(opt.by_strategy[2]));
+    }
+    std::printf("\n");
   }
   std::printf("\nBase-system response time grows with the requester count (FIFO service\n"
               "at the master, paper Section 3); replication removes those faults.\n");
+  if (adaptive) {
+    std::printf("Adaptive rows list sections per strategy (master-only/replicated/"
+                "broadcast):\nthe first section of each site is the broadcast probe, the "
+                "rest follow the\ncost model.\n");
+  }
   return 0;
 }

@@ -314,7 +314,7 @@ BhResult run_steps(tmk::Cluster& cluster, ompnow::Team& team, const BhWorld& w,
   std::vector<std::uint64_t> interactions(cluster.node_count(), 0);
 
   for (int step = 0; step < cfg.steps; ++step) {
-    team.sequential([&](const Ctx& ctx) { build_tree(ctx, w, cfg); });
+    team.sequential(kSectionTreeBuild, [&](const Ctx& ctx) { build_tree(ctx, w, cfg); });
 
     team.parallel([&](const Ctx& ctx) {
       const std::vector<std::uint32_t> mine = find_segment(ctx, w, cfg);

@@ -25,6 +25,12 @@
 
 namespace repseq::apps::bh {
 
+/// Static section-site id of the tree-build sequential section (stamped on
+/// every Team::sequential call so the adaptive policy engine can key its
+/// per-section telemetry; what the paper's translator would emit per
+/// source-level section).
+inline constexpr std::uint32_t kSectionTreeBuild = 1;
+
 struct Vec3 {
   double x = 0.0, y = 0.0, z = 0.0;
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "ompnow/team.hpp"
+#include "rse/policy/policy_engine.hpp"
 #include "tmk/runtime.hpp"
 #include "util/check.hpp"
 
@@ -19,6 +20,8 @@ const char* mode_name(Mode m) {
       return "Optimized";
     case Mode::BroadcastSeq:
       return "BroadcastSeq";
+    case Mode::Adaptive:
+      return "Adaptive";
   }
   return "?";
 }
@@ -35,6 +38,21 @@ const char* flow_name(rse::FlowControl f) {
   return "?";
 }
 
+std::optional<Mode> parse_mode(std::string_view s) {
+  if (s == "sequential" || s == "seq") return Mode::Sequential;
+  if (s == "original" || s == "base") return Mode::Original;
+  if (s == "optimized" || s == "replicated" || s == "rse") return Mode::Optimized;
+  if (s == "broadcast" || s == "broadcast-seq") return Mode::BroadcastSeq;
+  if (s == "adaptive") return Mode::Adaptive;
+  return std::nullopt;
+}
+
+std::optional<rse::FlowControl> parse_flow(std::string_view s) {
+  if (s == "chained") return rse::FlowControl::Chained;
+  if (s == "windowed") return rse::FlowControl::Windowed;
+  if (s == "none") return rse::FlowControl::None;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -44,6 +62,8 @@ ompnow::SeqMode seq_mode_for(Mode m) {
       return ompnow::SeqMode::Replicated;
     case Mode::BroadcastSeq:
       return ompnow::SeqMode::BroadcastAfter;
+    case Mode::Adaptive:
+      return ompnow::SeqMode::Adaptive;
     default:
       return ompnow::SeqMode::MasterOnly;
   }
@@ -52,6 +72,7 @@ ompnow::SeqMode seq_mode_for(Mode m) {
 struct Bench {
   std::unique_ptr<tmk::Cluster> cluster;
   std::unique_ptr<rse::RseController> rse;
+  std::unique_ptr<rse::policy::PolicyEngine> policy;
   std::unique_ptr<ompnow::Team> team;
   std::size_t nodes;
 
@@ -59,7 +80,11 @@ struct Bench {
       : nodes(opt.mode == Mode::Sequential ? 1 : opt.nodes) {
     cluster = std::make_unique<tmk::Cluster>(opt.tmk, opt.net, nodes);
     rse = std::make_unique<rse::RseController>(*cluster, opt.flow);
-    team = std::make_unique<ompnow::Team>(*cluster, seq_mode_for(opt.mode), rse.get());
+    if (opt.mode == Mode::Adaptive) {
+      policy = std::make_unique<rse::policy::PolicyEngine>(*cluster, opt.policy);
+    }
+    team = std::make_unique<ompnow::Team>(*cluster, seq_mode_for(opt.mode), rse.get(),
+                                          policy.get());
   }
 
   RunReport report(const RunOptions& opt, double total_s, double seq_s, double par_s,
@@ -68,6 +93,7 @@ struct Bench {
     r.mode = opt.mode;
     r.nodes = nodes;
     r.transport = net::transport_name(opt.net.transport);
+    r.policy = opt.mode == Mode::Adaptive ? rse::policy::policy_name(opt.policy.kind) : "-";
     r.total_s = total_s;
     r.seq_s = seq_s;
     r.par_s = par_s;
@@ -92,6 +118,13 @@ struct Bench {
     for (const tmk::HubOccupancy& o : occ) {
       r.hub_busy_max_s = std::max(r.hub_busy_max_s, o.busy.seconds());
       r.hub_busy_total_s += o.busy.seconds();
+    }
+
+    if (policy) {
+      r.sections = policy->sections();
+      r.sections_by_strategy = policy->strategy_counts();
+      r.policy_switches = policy->switches();
+      r.decisions = policy->decisions();
     }
 
     // "diff requests": for sequential sections the paper counts the single

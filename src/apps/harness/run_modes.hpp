@@ -1,14 +1,21 @@
 // Experiment harness: builds a cluster in one of the paper's three system
-// configurations (plus the broadcast ablation), runs an application, and
-// extracts exactly the measurements reported in Tables 1-4.
+// configurations (plus the broadcast ablation and the adaptive policy
+// engine), runs an application, and extracts exactly the measurements
+// reported in Tables 1-4 plus the per-section policy accounting.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "apps/barnes_hut/bh.hpp"
 #include "apps/ilink/ilink.hpp"
 #include "net/net_config.hpp"
 #include "rse/controller.hpp"
+#include "rse/policy/policy.hpp"
 #include "tmk/config.hpp"
 
 namespace repseq::apps::harness {
@@ -19,24 +26,33 @@ enum class Mode {
   Optimized,     // replicated sequential execution with multicast (the paper)
   BroadcastSeq,  // master executes, then multicasts all modified data
                  // (Section 4.2 alternative / Section 6.1.2 hand insertion)
+  Adaptive,      // rse::policy picks one of the three above per section
 };
 
 [[nodiscard]] const char* mode_name(Mode m);
 [[nodiscard]] const char* flow_name(rse::FlowControl f);
+
+/// CLI/env parsing for the harness axes, shared by the benches and examples
+/// (the transport axis lives next to its enum: net::parse_transport).
+[[nodiscard]] std::optional<Mode> parse_mode(std::string_view s);
+[[nodiscard]] std::optional<rse::FlowControl> parse_flow(std::string_view s);
 
 struct RunOptions {
   std::size_t nodes = 32;
   Mode mode = Mode::Original;
   rse::FlowControl flow = rse::FlowControl::Chained;
   tmk::TmkConfig tmk;
-  net::NetConfig net;  // net.transport selects the wire backend
+  net::NetConfig net;           // net.transport selects the wire backend
+  rse::policy::PolicyConfig policy;  // Mode::Adaptive decision procedure
 };
 
 /// One row set for the paper's statistics tables.
 struct RunReport {
   Mode mode = Mode::Original;
   std::size_t nodes = 0;
-  const char* transport = "";  // wire backend the run used
+  std::string transport;  // wire backend the run used (owned; reports must
+                          // outlive reconfigured NetConfig temporaries)
+  std::string policy;     // decision procedure ("-" outside Mode::Adaptive)
 
   double total_s = 0;  // Table 1/3 "Total time"
   double seq_s = 0;    // "Sequential time"
@@ -65,6 +81,15 @@ struct RunReport {
   std::size_t hub_shards = 1;
   double hub_busy_max_s = 0;    // busiest shard's transmit time
   double hub_busy_total_s = 0;  // summed over shards
+
+  // Per-section policy accounting (Mode::Adaptive; zero otherwise).
+  std::uint64_t sections = 0;
+  /// Sections executed per strategy, indexed by rse::policy::SectionStrategy.
+  std::array<std::uint64_t, rse::policy::kStrategyCount> sections_by_strategy{};
+  std::uint64_t policy_switches = 0;  // switch points across all sites
+  /// The master's full decision log (site, strategy, switch flag, and the
+  /// close-time reporting telemetry).
+  std::vector<rse::policy::Decision> decisions;
 
   double checksum = 0;  // application result for cross-mode verification
   std::uint64_t aux = 0;

@@ -90,7 +90,7 @@ IlinkResult run_program(tmk::Cluster& cluster, ompnow::Team& team, const IlinkWo
       // Moving to a new nuclear family: the master (or, when replicated,
       // every node) reinitializes the entire pool of genarrays -- the
       // paper's "extremely severe" contention point (Section 6.2.1).
-      team.sequential([&](const Ctx& ctx) {
+      team.sequential(kSectionPoolInit, [&](const Ctx& ctx) {
         for (int p = 0; p < persons; ++p) {
           for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(cfg.genotypes); ++i) {
             w.pool.store(pool_at(p, i), init_value(fam, p, i, iter));
@@ -129,7 +129,7 @@ IlinkResult run_program(tmk::Cluster& cluster, ompnow::Team& team, const IlinkWo
           // section; replicated in the optimized system).  The contribution
           // buffer is a few densely packed pages carrying one diff per
           // writer -- what the multiple-writer protocol merges.
-          team.sequential([&, m](const Ctx& ctx) {
+          team.sequential(kSectionSumContrib, [&, m](const Ctx& ctx) {
             double fam_sum = 0.0;
             for (std::size_t pos = 0; pos < nz.size(); ++pos) {
               const std::uint32_t i = nz[pos];
@@ -144,7 +144,7 @@ IlinkResult run_program(tmk::Cluster& cluster, ompnow::Team& team, const IlinkWo
           ++res.serial_updates;
           // Below the threshold the update stays in the sequential flow
           // (the OpenMP `if` clause, Section 6.2.1).
-          team.sequential([&, m](const Ctx& ctx) {
+          team.sequential(kSectionSerialUpdate, [&, m](const Ctx& ctx) {
             double fam_sum = 0.0;
             for (const std::uint32_t i : nz) {
               double val = 0.0;

@@ -31,6 +31,15 @@
 
 namespace repseq::apps::ilink {
 
+/// Static section-site ids (adaptive-policy telemetry keys): the pool
+/// reinitialization on every family move (write-heavy, the severe
+/// contention point), the master's summation of the threads' contribution
+/// buffers (read fan-in, small write set), and the below-threshold member
+/// update that stays in the sequential flow (the OpenMP `if` clause).
+inline constexpr std::uint32_t kSectionPoolInit = 1;
+inline constexpr std::uint32_t kSectionSumContrib = 2;
+inline constexpr std::uint32_t kSectionSerialUpdate = 3;
+
 struct IlinkConfig {
   int families = 4;           // nuclear families in the pedigree
   int children = 4;           // children per nuclear family

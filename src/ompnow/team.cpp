@@ -14,10 +14,15 @@ Range block_range(long lo, long hi, int tid, int nthreads) {
   return {begin, begin + len};
 }
 
-Team::Team(tmk::Cluster& cluster, SeqMode seq_mode, rse::RseController* rse)
-    : cluster_(cluster), seq_mode_(seq_mode), rse_(rse) {
+Team::Team(tmk::Cluster& cluster, SeqMode seq_mode, rse::RseController* rse,
+           rse::policy::PolicyEngine* policy)
+    : cluster_(cluster), seq_mode_(seq_mode), rse_(rse), policy_(policy) {
   if (seq_mode_ == SeqMode::Replicated) {
     REPSEQ_CHECK(rse_ != nullptr, "Replicated mode requires an RseController");
+  }
+  if (seq_mode_ == SeqMode::Adaptive) {
+    REPSEQ_CHECK(rse_ != nullptr && policy_ != nullptr,
+                 "Adaptive mode requires an RseController and a PolicyEngine");
   }
 }
 
@@ -76,51 +81,85 @@ void Team::parallel_for(long lo, long hi, Schedule sched,
   });
 }
 
-void Team::sequential(std::function<void(const Ctx&)> body) {
+void Team::seq_master_only(const std::function<void(const Ctx&)>& body) {
   tmk::NodeRuntime& master = cluster_.node(0);
+  Ctx ctx{master, 0, static_cast<int>(cluster_.node_count())};
+  body(ctx);
+  master.cpu().flush();
+}
+
+void Team::seq_broadcast_after(const std::function<void(const Ctx&)>& body) {
+  tmk::NodeRuntime& master = cluster_.node(0);
+  master.end_interval();
+  const tmk::VectorClock before = master.vc();
+  Ctx ctx{master, 0, static_cast<int>(cluster_.node_count())};
+  body(ctx);
+  master.cpu().flush();
+  rse::broadcast_section_updates(master, before);
+}
+
+void Team::seq_replicated(std::function<void(const Ctx&)> body) {
+  tmk::NodeRuntime& master = cluster_.node(0);
+  const int n = static_cast<int>(cluster_.node_count());
+  if (n == 1) {
+    Ctx ctx{master, 0, 1};
+    body(ctx);
+    master.cpu().flush();
+    return;
+  }
+  // The section is shipped to every node like a region whose body is
+  // the *whole* sequential section, bracketed by the RSE protocol.
+  // Traffic inside belongs to the sequential-section accounting.
+  rse::RseController* rse = rse_;
+  const std::uint64_t id =
+      cluster_.register_work([body = std::move(body), rse, n](tmk::NodeRuntime& rt) {
+        rse->enter(rt);
+        Ctx ctx{rt, static_cast<int>(rt.id()), n};
+        body(ctx);
+        rt.cpu().flush();
+        rse->exit(rt);
+      });
+  run_region(id, tmk::Phase::Sequential);
+}
+
+void Team::sequential(std::function<void(const Ctx&)> body) {
+  sequential(0u, std::move(body));
+}
+
+void Team::sequential(std::uint32_t site, std::function<void(const Ctx&)> body) {
   const sim::SimTime t0 = cluster_.engine().now();
   ++seq_sections_;
-  const int n = static_cast<int>(cluster_.node_count());
 
-  switch (seq_mode_) {
-    case SeqMode::MasterOnly: {
-      Ctx ctx{master, 0, n};
-      body(ctx);
-      master.cpu().flush();
-      break;
-    }
-    case SeqMode::BroadcastAfter: {
-      master.end_interval();
-      const tmk::VectorClock before = master.vc();
-      Ctx ctx{master, 0, n};
-      body(ctx);
-      master.cpu().flush();
-      rse::broadcast_section_updates(master, before);
-      break;
-    }
-    case SeqMode::Replicated: {
-      if (n == 1) {
-        Ctx ctx{master, 0, 1};
-        body(ctx);
-        master.cpu().flush();
+  SeqMode eff = seq_mode_;
+  if (seq_mode_ == SeqMode::Adaptive) {
+    switch (policy_->open_section(cluster_.node(0), site)) {
+      case rse::policy::SectionStrategy::MasterOnly:
+        eff = SeqMode::MasterOnly;
         break;
-      }
-      // The section is shipped to every node like a region whose body is
-      // the *whole* sequential section, bracketed by the RSE protocol.
-      // Traffic inside belongs to the sequential-section accounting.
-      rse::RseController* rse = rse_;
-      const std::uint64_t id =
-          cluster_.register_work([body = std::move(body), rse, n](tmk::NodeRuntime& rt) {
-            rse->enter(rt);
-            Ctx ctx{rt, static_cast<int>(rt.id()), n};
-            body(ctx);
-            rt.cpu().flush();
-            rse->exit(rt);
-          });
-      run_region(id, tmk::Phase::Sequential);
-      break;
+      case rse::policy::SectionStrategy::Replicated:
+        eff = SeqMode::Replicated;
+        break;
+      case rse::policy::SectionStrategy::BroadcastAfter:
+        eff = SeqMode::BroadcastAfter;
+        break;
     }
   }
+
+  switch (eff) {
+    case SeqMode::MasterOnly:
+      seq_master_only(body);
+      break;
+    case SeqMode::BroadcastAfter:
+      seq_broadcast_after(body);
+      break;
+    case SeqMode::Replicated:
+      seq_replicated(std::move(body));
+      break;
+    case SeqMode::Adaptive:
+      REPSEQ_CHECK(false, "adaptive mode resolves to a concrete strategy");
+      break;
+  }
+  if (seq_mode_ == SeqMode::Adaptive) policy_->close_section(cluster_.node(0));
   seq_time_ += cluster_.engine().now() - t0;
 }
 

@@ -9,7 +9,9 @@
 //       - Replicated: every node runs it under the RSE protocol (the
 //         paper's optimization);
 //       - BroadcastAfter: the master runs it, then pushes all section
-//         modifications to everyone (the Section 4.2 / 6.1.2 alternative).
+//         modifications to everyone (the Section 4.2 / 6.1.2 alternative);
+//       - Adaptive: the rse::policy engine picks one of the three above per
+//         section site, from online telemetry.
 //
 // The Team also measures the per-section time breakdown reported in the
 // paper's Tables 1 and 3.
@@ -20,6 +22,7 @@
 #include <string>
 
 #include "rse/controller.hpp"
+#include "rse/policy/policy_engine.hpp"
 #include "tmk/runtime.hpp"
 
 namespace repseq::ompnow {
@@ -28,6 +31,7 @@ enum class SeqMode {
   MasterOnly,
   Replicated,
   BroadcastAfter,
+  Adaptive,
 };
 
 enum class Schedule {
@@ -62,7 +66,9 @@ struct Range {
 
 class Team {
  public:
-  Team(tmk::Cluster& cluster, SeqMode seq_mode, rse::RseController* rse);
+  /// `policy` is consulted only in SeqMode::Adaptive (required then).
+  Team(tmk::Cluster& cluster, SeqMode seq_mode, rse::RseController* rse,
+       rse::policy::PolicyEngine* policy = nullptr);
 
   /// A `parallel` region: body runs on every thread.
   void parallel(std::function<void(const Ctx&)> body);
@@ -73,8 +79,14 @@ class Team {
   void parallel_for(long lo, long hi, Schedule sched,
                     std::function<void(const Ctx&, long)> body, bool if_parallel = true);
 
-  /// A sequential section, dispatched per the run mode.
+  /// A sequential section, dispatched per the run mode (site id 0).
   void sequential(std::function<void(const Ctx&)> body);
+
+  /// A sequential section stamped with its static site id -- what the
+  /// paper's translator would emit per source-level section.  The adaptive
+  /// policy engine keys its telemetry and per-section decisions by this id;
+  /// the other modes ignore it.
+  void sequential(std::uint32_t site, std::function<void(const Ctx&)> body);
 
   [[nodiscard]] sim::SimDuration sequential_time() const { return seq_time_; }
   [[nodiscard]] sim::SimDuration parallel_time() const { return par_time_; }
@@ -85,9 +97,16 @@ class Team {
  private:
   void run_region(std::uint64_t work_id, tmk::Phase phase);
 
+  // The three sequential-section execution brackets; Adaptive dispatches to
+  // one of them per the policy engine's decision.
+  void seq_master_only(const std::function<void(const Ctx&)>& body);
+  void seq_broadcast_after(const std::function<void(const Ctx&)>& body);
+  void seq_replicated(std::function<void(const Ctx&)> body);
+
   tmk::Cluster& cluster_;
   SeqMode seq_mode_;
   rse::RseController* rse_;
+  rse::policy::PolicyEngine* policy_;
   sim::SimDuration seq_time_{};
   sim::SimDuration par_time_{};
   std::uint64_t parallel_regions_ = 0;

@@ -1,0 +1,66 @@
+#include "rse/policy/cost_model.hpp"
+
+namespace repseq::rse::policy {
+
+CostModel::CostModel(const tmk::TmkConfig& tmk, const net::NetConfig& net, std::size_t nodes)
+    : n_(nodes) {
+  const double nd = static_cast<double>(n_);
+  const double hub = net.hub_bytes_per_sec;
+  link_rate_ = net.link_bytes_per_sec;
+  page_wire_ = static_cast<double>(net.wire_bytes(tmk.page_bytes));
+  c_msg_ = (net.send_overhead + net.recv_overhead).seconds();
+  c_page_ = page_wire_ / hub + net.hub_latency.seconds() +
+            static_cast<double>(tmk.page_bytes) *
+                (tmk.diff_create_ns_per_byte + tmk.diff_apply_ns_per_byte) * 1e-9;
+  c_ack_ = net.send_overhead.seconds() + static_cast<double>(net.wire_bytes(20)) / hub;
+  rt_ = 2.0 * c_msg_ + c_page_;
+  round_ = 2.0 * c_msg_ + nd * c_ack_ + c_page_;
+  // The replicated bracket exchanges roughly four messages per node: the
+  // fork/join pair, the entry and exit barriers, and the valid-notice
+  // gather + table multicast (Sections 5.2 and 5.4.1).
+  repl_fixed_ = 4.0 * nd * c_msg_;
+}
+
+double CostModel::after_cost(double msgs, double bytes) const {
+  return msgs * c_msg_ + bytes / link_rate_;
+}
+
+double CostModel::cost(SectionStrategy s, const SectionProfile& p) const {
+  const double nd = static_cast<double>(n_);
+  const double w = p.pages_written;
+  const double f = p.faults_in;
+  const auto i = static_cast<std::size_t>(s);
+  const bool measured = p.tried[i] > 0;
+  switch (s) {
+    case SectionStrategy::MasterOnly: {
+      // Post-section reads of the write set converge on the master (the
+      // Section 3 queue).  Until MasterOnly has actually run for this site,
+      // assume the pessimistic full fan-out: every other node faults on
+      // every section-written page.  The engine therefore only leaves a
+      // contention-eliminating strategy when the write set is demonstrably
+      // small -- mispredicting toward replication is cheap, the reverse is
+      // not.
+      const double after = measured ? after_cost(p.after_msgs[i], p.after_bytes[i])
+                                    : after_cost(w * (nd - 1.0), w * (nd - 1.0) * page_wire_);
+      return f * rt_ + after;
+    }
+    case SectionStrategy::Replicated: {
+      // Fixed per-section bracket plus one flow-controlled multicast round
+      // per stale page; the write set itself costs nothing on the wire
+      // (every node computes it locally).  Replication removes the
+      // post-section faults on section-written pages by construction, so
+      // the unmeasured default is zero.
+      const double after = measured ? after_cost(p.after_msgs[i], p.after_bytes[i]) : 0.0;
+      return repl_fixed_ + f * round_ + after;
+    }
+    case SectionStrategy::BroadcastAfter: {
+      // Master-only faults on stale reads, then the whole write set rides
+      // the multicast medium once, acknowledged by every node.
+      const double after = measured ? after_cost(p.after_msgs[i], p.after_bytes[i]) : 0.0;
+      return f * rt_ + w * c_page_ + nd * c_msg_ + after;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace repseq::rse::policy

@@ -1,0 +1,84 @@
+// Vocabulary of the adaptive per-section replication policy engine.
+//
+// The paper fixes one execution strategy for every sequential section of a
+// run (its Tables 1-4 compare whole-run configurations).  Which strategy
+// wins, however, depends on the *section*: its write-set size, the stale
+// data it reads, and the contention its output induces afterwards
+// (Section 4.2 discusses execute-then-broadcast as an alternative precisely
+// because the trade-off is per-section).  rse::policy makes that choice
+// online, per section site, with the master's decision propagated to all
+// nodes in a section-open message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace repseq::rse::policy {
+
+/// How one sequential section executes.  Mirrors the paper's three system
+/// configurations, but scoped to a single section instead of a whole run.
+enum class SectionStrategy : std::uint8_t {
+  MasterOnly = 0,      // base system: master executes, slaves wait
+  Replicated = 1,      // replicated sequential execution (the paper)
+  BroadcastAfter = 2,  // master executes, then multicasts all modified data
+};
+inline constexpr std::size_t kStrategyCount = 3;
+
+[[nodiscard]] const char* strategy_name(SectionStrategy s);
+
+/// Decision procedures layered over the shared cost model.
+enum class PolicyKind : std::uint8_t {
+  Static,      // always PolicyConfig::static_strategy (no telemetry)
+  Greedy,      // per section entry: argmin of the modeled strategy costs
+  Hysteresis,  // greedy, but a challenger must undercut the incumbent by
+               // switch_margin and the site must have dwelt min_dwell runs
+};
+
+[[nodiscard]] const char* policy_name(PolicyKind k);
+[[nodiscard]] std::optional<PolicyKind> parse_policy(std::string_view s);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::Hysteresis;
+
+  /// What the Static policy always picks.
+  SectionStrategy static_strategy = SectionStrategy::Replicated;
+
+  /// First occurrence of a site under an adaptive policy.  BroadcastAfter
+  /// doubles as the measurement probe: it is the one strategy whose bracket
+  /// observes the section's full write set (the broadcast has to collect
+  /// exactly those diffs), so one occurrence fills the whole profile.
+  SectionStrategy bootstrap = SectionStrategy::BroadcastAfter;
+
+  /// Hysteresis: a challenger's modeled cost must be below
+  /// incumbent * (1 - switch_margin) to trigger a switch.
+  double switch_margin = 0.15;
+  /// Hysteresis: minimum occurrences of a site between switches.
+  std::uint64_t min_dwell = 1;
+
+  /// EWMA smoothing factor for the per-site telemetry (0 < alpha <= 1).
+  double alpha = 0.5;
+};
+
+/// One entry of the per-section decision log.  The (seq, site, strategy,
+/// switched) tuple is what the master multicasts at section entry and what
+/// every node's log must agree on; the trailing fields are master-side
+/// reporting telemetry filled at section close (virtual time and multicast
+/// traffic are transport-dependent, so they are *recorded*, never fed back
+/// into the decision function).
+struct Decision {
+  std::uint64_t seq = 0;   // cluster-global section sequence number
+  std::uint32_t site = 0;  // application-stamped section site id
+  SectionStrategy strategy = SectionStrategy::Replicated;
+  bool switched = false;   // site changed strategy at this entry
+
+  double section_s = 0;    // wall (virtual) time inside the section bracket
+  double mcast_kb = 0;     // multicast traffic the bracket put on the medium
+
+  [[nodiscard]] bool same_choice(const Decision& o) const {
+    return seq == o.seq && site == o.site && strategy == o.strategy &&
+           switched == o.switched;
+  }
+};
+
+}  // namespace repseq::rse::policy

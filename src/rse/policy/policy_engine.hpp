@@ -1,0 +1,116 @@
+// Adaptive per-section replication policy engine.
+//
+// The engine sits beside rse::RseController and decides, at every
+// sequential-section entry, how *that* section executes: master-only (the
+// base system), replicated (the paper's optimization), or
+// execute-then-broadcast (the Section 4.2 alternative).  The master makes
+// the decision from per-site telemetry and multicasts it in a
+// PolicySectionOpen message -- its own message kind, registered through the
+// tmk::ProtocolEngine dispatch registry exactly like the RSE flow-control
+// handler sets -- so every node records the same agreed decision sequence.
+//
+// Telemetry discipline: the decision function consumes only protocol-level
+// counts (pages written, stale pages read, post-section faults), which are
+// identical across transport backends and shard counts; wall-clock section
+// times and multicast byte counters are transport-dependent and are kept as
+// reporting fields on the decision log only.  In a real system the counter
+// deltas the master reads here would piggyback on the join/barrier messages
+// that already bracket every section at zero extra frames; the simulation
+// reads them from tmk::Stats directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "rse/policy/cost_model.hpp"
+#include "rse/policy/policy.hpp"
+#include "tmk/runtime.hpp"
+
+namespace repseq::rse::policy {
+
+class PolicyEngine {
+ public:
+  /// Registers the PolicySectionOpen handler with the cluster's dispatch
+  /// registry; constructing two engines on one cluster is a wiring bug and
+  /// aborts (duplicate registration).
+  explicit PolicyEngine(tmk::Cluster& cluster, PolicyConfig cfg = {});
+
+  PolicyEngine(const PolicyEngine&) = delete;
+  PolicyEngine& operator=(const PolicyEngine&) = delete;
+
+  /// Master application fiber, at section entry: finalizes the previous
+  /// section's aftermath window, decides this section's strategy, multicasts
+  /// the decision, and opens the during-section measurement window.
+  [[nodiscard]] SectionStrategy open_section(tmk::NodeRuntime& master, std::uint32_t site);
+
+  /// Master application fiber, immediately after the strategy's execution
+  /// bracket completes: folds the during-section telemetry into the site
+  /// profile and opens the aftermath (post-section contention) window.
+  void close_section(tmk::NodeRuntime& master);
+
+  [[nodiscard]] const PolicyConfig& config() const { return cfg_; }
+  [[nodiscard]] const CostModel& model() const { return model_; }
+
+  /// The master's decision log (decision + close-time reporting telemetry).
+  [[nodiscard]] const std::vector<Decision>& decisions() const { return log_[0]; }
+  /// Per-node copy of the agreed decision sequence, built from the
+  /// section-open multicasts (master-side fields are zero on slave copies).
+  [[nodiscard]] const std::vector<Decision>& node_log(net::NodeId n) const { return log_[n]; }
+
+  [[nodiscard]] std::uint64_t sections() const { return log_[0].size(); }
+  [[nodiscard]] std::uint64_t switches() const { return switches_; }
+  [[nodiscard]] const std::array<std::uint64_t, kStrategyCount>& strategy_counts() const {
+    return counts_;
+  }
+  /// Telemetry profile of one section site (nullptr before its first run).
+  [[nodiscard]] const SectionProfile* profile(std::uint32_t site) const;
+
+ private:
+  struct SiteState {
+    SectionProfile profile;
+    SectionStrategy current = SectionStrategy::Replicated;
+    std::uint64_t last_switch_run = 0;
+  };
+
+  [[nodiscard]] SectionStrategy decide(const SiteState& st) const;
+  void finalize_aftermath();
+  [[nodiscard]] double ewma(double prev, double sample, bool first) const;
+
+  // Cluster-wide counter sums (the values a real master would piggyback on
+  // the bracketing synchronization messages).
+  [[nodiscard]] std::uint64_t master_par_diff_msgs() const;
+  [[nodiscard]] std::uint64_t master_par_diff_bytes() const;
+  [[nodiscard]] std::uint64_t total_seq_fwd_requests() const;
+  [[nodiscard]] std::uint64_t total_seq_mcast_bytes() const;
+
+  tmk::Cluster& cluster_;
+  PolicyConfig cfg_;
+  CostModel model_;
+
+  std::map<std::uint32_t, SiteState> sites_;
+  std::vector<std::vector<Decision>> log_;  // [node] -> agreed sequence
+  std::array<std::uint64_t, kStrategyCount> counts_{};
+  std::uint64_t switches_ = 0;
+  std::uint64_t next_seq_ = 1;
+
+  // During-section window (master side).
+  bool section_open_ = false;
+  std::uint32_t open_site_ = 0;
+  SectionStrategy open_strategy_ = SectionStrategy::Replicated;
+  sim::SimTime open_t0_{};
+  std::uint64_t snap_master_seq_faults_ = 0;
+  std::uint64_t snap_fwd_requests_ = 0;
+  std::uint64_t snap_mcast_bytes_ = 0;
+  std::uint32_t snap_master_vc0_ = 0;
+
+  // Aftermath window: close -> next open, attributed to the closed section.
+  bool aftermath_pending_ = false;
+  std::uint32_t aftermath_site_ = 0;
+  SectionStrategy aftermath_strategy_ = SectionStrategy::Replicated;
+  std::uint64_t snap_master_par_diffs_ = 0;
+  std::uint64_t snap_master_par_bytes_ = 0;
+};
+
+}  // namespace repseq::rse::policy

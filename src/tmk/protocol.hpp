@@ -40,6 +40,8 @@ enum class MsgKind : std::uint32_t {
   // ---- broadcast-all alternative (paper Sections 4.2 / 6.1.2 ablations) ----
   BcastUpdate,       // master -> all (multicast): notices + diffs of a section
   BcastAck,          // receiver -> master: applied
+  // ---- adaptive replication policy (rse::policy) ----
+  PolicySectionOpen,  // master -> all (multicast): section id + chosen strategy
   // ---- local control (never on the wire) ----
   RseRoundTick,      // master-local timer: force round progression on loss
 };
@@ -247,6 +249,19 @@ struct BcastUpdateP {
 
 struct BcastAckP {
   std::uint64_t req_id = 0;
+  [[nodiscard]] static std::size_t wire_bytes() { return 16; }
+};
+
+/// The per-section strategy decision, multicast by the master at section
+/// entry so every node records the same agreed decision sequence (the
+/// adaptive-policy analogue of the fork's work descriptor).  Slaves only log
+/// it; the execution itself is still driven by the master's fork-or-inline
+/// choice, which this message names.
+struct PolicySectionOpenP {
+  std::uint64_t seq = 0;      // cluster-global section sequence number
+  std::uint32_t site = 0;     // application-stamped section site id
+  std::uint8_t strategy = 0;  // rse::policy::SectionStrategy
+  std::uint8_t switched = 0;  // differs from this site's previous strategy
   [[nodiscard]] static std::size_t wire_bytes() { return 16; }
 };
 

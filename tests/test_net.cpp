@@ -690,7 +690,7 @@ TEST(TransportProtocolMatrix, ChecksumsIdenticalAcrossModesFlowsAndTransports) {
     o.flow = f;
     o.net = config_for(b);
     const auto report = apps::harness::run_barnes_hut(o, bh);
-    EXPECT_STREQ(report.transport, transport_name(b.kind));
+    EXPECT_EQ(report.transport, transport_name(b.kind));
     return report.checksum;
   };
 

@@ -282,6 +282,65 @@ TEST(Rse, BroadcastAfterAlternativeAlsoEliminatesFaults) {
   EXPECT_EQ(w.cl->total(tmk::Phase::Parallel).page_faults, 0u);
 }
 
+TEST(Rse, BroadcastAfterEmptySectionSendsNothing) {
+  // Edge case: a sequential section that modifies nothing produces an empty
+  // since-delta -- no diffs are created and no BcastUpdate may hit the wire
+  // (nor the n-1 acks it would solicit).
+  World w(4, SeqMode::BroadcastAfter);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 1024);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->sequential([&](const Ctx&) {
+      long sum = 0;
+      for (std::size_t i = 0; i < data.size(); ++i) sum += data.load(i);
+      EXPECT_EQ(sum, 0L);  // reads only; nothing dirtied
+    });
+  });
+
+  EXPECT_EQ(w.cl->network().messages_sent(), 0u);
+  EXPECT_EQ(w.team->sequential_sections(), 1u);
+}
+
+TEST(Rse, BroadcastAfterBackToBackSectionsWithoutParallelRegion) {
+  // Two broadcast sections with no parallel region in between: the second
+  // broadcast must carry only the second section's modifications (the
+  // master's slave-knowledge bookkeeping already covers the first), every
+  // node must still observe both sections' writes locally, and re-running
+  // the overlapping page set must not resurrect first-section data.
+  World w(4, SeqMode::BroadcastAfter);
+  auto data = tmk::ShArray<int>::alloc(*w.cl, 2048);
+  std::vector<int> first(4, -1);
+  std::vector<int> second(4, -1);
+
+  std::uint64_t msgs_after_first = 0;
+  std::uint64_t msgs_after_second = 0;
+  w.cl->run([&](tmk::NodeRuntime&) {
+    w.team->sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < data.size(); ++i) data.store(i, 1);
+    });
+    msgs_after_first = w.cl->network().messages_sent();
+    w.team->sequential([&](const Ctx&) {
+      // Overlap the first section's pages and extend past them.
+      for (std::size_t i = 0; i < data.size(); ++i) data.store(i, data.load(i) + 10);
+    });
+    msgs_after_second = w.cl->network().messages_sent();
+    w.team->parallel([&](const Ctx& ctx) {
+      first[ctx.tid] = data.load(0);
+      second[ctx.tid] = data.load(data.size() - 1);
+    });
+  });
+
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(first[t], 11) << "thread " << t;
+    EXPECT_EQ(second[t], 11) << "thread " << t;
+  }
+  // Both sections actually broadcast (no silent elision of the second).
+  EXPECT_GT(msgs_after_first, 0u);
+  EXPECT_GT(msgs_after_second, msgs_after_first);
+  // The push already distributed everything: parallel reads are local.
+  EXPECT_EQ(w.cl->total(tmk::Phase::Parallel).page_faults, 0u);
+}
+
 TEST(Rse, ReplicatedModeIsDeterministic) {
   auto run_once = [] {
     World w(4, SeqMode::Replicated);
