@@ -26,6 +26,15 @@ inline long env_long(const char* name, long fallback) {
   return v != nullptr ? std::atol(v) : fallback;
 }
 
+/// A malformed axis value must kill the run, not silently fall back: a
+/// sweep that quietly ran the wrong transport/policy/flow produces tables
+/// that look fine and mean nothing.
+[[noreturn]] inline void env_value_error(const char* var, const char* got,
+                                         const char* accepted) {
+  std::fprintf(stderr, "error: unknown %s '%s' (accepted: %s)\n", var, got, accepted);
+  std::exit(2);
+}
+
 inline std::size_t bench_nodes() { return static_cast<std::size_t>(env_long("NODES", 32)); }
 
 /// The wire backend for a sweep: REPSEQ_TRANSPORT=hub|tree|direct|sharded
@@ -34,13 +43,10 @@ inline std::size_t bench_nodes() { return static_cast<std::size_t>(env_long("NOD
 inline net::TransportKind bench_transport(
     net::TransportKind fallback = net::TransportKind::HubSwitch) {
   const char* v = std::getenv("REPSEQ_TRANSPORT");
-  if (v != nullptr) {
-    const auto k = net::parse_transport(v);
-    if (k) return *k;
-    std::fprintf(stderr, "unknown REPSEQ_TRANSPORT '%s' (hub|tree|direct|sharded); using %s\n",
-                 v, net::transport_name(fallback));
-  }
-  return fallback;
+  if (v == nullptr) return fallback;
+  const auto k = net::parse_transport(v);
+  if (!k) env_value_error("REPSEQ_TRANSPORT", v, "hub|tree|direct|sharded");
+  return *k;
 }
 
 /// Shard count for the sharded-hub backend (REPSEQ_HUB_SHARDS=S).
@@ -55,13 +61,35 @@ inline std::size_t bench_hub_shards() {
 inline rse::policy::PolicyKind bench_policy(
     rse::policy::PolicyKind fallback = rse::policy::PolicyKind::Hysteresis) {
   const char* v = std::getenv("REPSEQ_POLICY");
-  if (v != nullptr) {
-    const auto k = rse::policy::parse_policy(v);
-    if (k) return *k;
-    std::fprintf(stderr, "unknown REPSEQ_POLICY '%s' (static|greedy|hysteresis); using %s\n",
-                 v, rse::policy::policy_name(fallback));
+  if (v == nullptr) return fallback;
+  const auto k = rse::policy::parse_policy(v);
+  if (!k) env_value_error("REPSEQ_POLICY", v, "static|greedy|hysteresis");
+  return *k;
+}
+
+/// RSE flow-control variant: REPSEQ_FLOW=chained|windowed|none overrides a
+/// bench's default so any sweep can be repeated under another scheme.
+inline rse::FlowControl bench_flow(rse::FlowControl fallback = rse::FlowControl::Chained) {
+  const char* v = std::getenv("REPSEQ_FLOW");
+  if (v == nullptr) return fallback;
+  const auto f = apps::harness::parse_flow(v);
+  if (!f) env_value_error("REPSEQ_FLOW", v, "chained|windowed|none");
+  return *f;
+}
+
+/// Per-site strategy pins for adaptive A/B runs:
+/// REPSEQ_PIN_SITE=<site>=<strategy>[,<site>=<strategy>...], strategies
+/// master-only|replicated|broadcast.  A pinned site always executes the
+/// pinned strategy (its first occurrence skips the bootstrap probe).
+inline std::map<std::uint32_t, rse::policy::SectionStrategy> bench_pin_sites() {
+  const char* v = std::getenv("REPSEQ_PIN_SITE");
+  if (v == nullptr) return {};
+  const auto pins = rse::policy::parse_pin_sites(v);
+  if (!pins) {
+    env_value_error("REPSEQ_PIN_SITE", v,
+                    "<site>=<master-only|replicated|broadcast>[,...]");
   }
-  return fallback;
+  return *pins;
 }
 
 /// Node counts for the cluster-size sweeps, capped by REPSEQ_NODES so CI
@@ -108,8 +136,10 @@ inline apps::harness::RunOptions options_for(apps::harness::Mode mode,
   apps::harness::RunOptions o;
   o.mode = mode;
   o.nodes = nodes;
+  o.flow = bench_flow();
   o.net = bench_net_config();
   o.policy.kind = bench_policy();
+  o.policy.pins = bench_pin_sites();
   o.tmk.heap_bytes = static_cast<std::size_t>(env_long("HEAP_MB", 24)) << 20;
   return o;
 }

@@ -25,7 +25,7 @@ Point probe(std::size_t nodes) {
   cfg.heap_bytes = 8u << 20;
   net::NetConfig ncfg = bench::bench_net_config();
   tmk::Cluster cl(cfg, ncfg, nodes);
-  rse::RseController rse(cl, rse::FlowControl::Chained);
+  rse::RseController rse(cl, bench::bench_flow());
   ompnow::Team team(cl, ompnow::SeqMode::MasterOnly, &rse);
 
   constexpr std::size_t kIntsPerPage = 4096 / sizeof(int);
@@ -70,7 +70,7 @@ OccPoint occupancy_probe(std::size_t nodes) {
   cfg.heap_bytes = 8u << 20;
   net::NetConfig ncfg = bench::bench_net_config();
   tmk::Cluster cl(cfg, ncfg, nodes);
-  rse::RseController rse(cl, rse::FlowControl::Chained);
+  rse::RseController rse(cl, bench::bench_flow());
   ompnow::Team team(cl, ompnow::SeqMode::Replicated, &rse);
 
   constexpr std::size_t kIntsPerPage = 4096 / sizeof(int);
@@ -116,16 +116,19 @@ struct AdaptivePoint {
 /// Adaptive-policy probe over the same hot-spot workload, repeated for a few
 /// rounds so the policy converges past its bootstrap: the master writes the
 /// block, everyone reads it, and the rse::policy engine picks the section
-/// strategy per round.  Run with REPSEQ_POLICY=static|greedy|hysteresis.
+/// strategy per round.  Run with REPSEQ_POLICY=static|greedy|hysteresis,
+/// and REPSEQ_PIN_SITE=<site>=<strategy>[,...] to pin sites for A/B runs
+/// (the producer section is site 1, the consumer section site 2).
 AdaptivePoint adaptive_probe(std::size_t nodes) {
   using namespace repseq;
   tmk::TmkConfig cfg;
   cfg.heap_bytes = 8u << 20;
   net::NetConfig ncfg = bench::bench_net_config();
   tmk::Cluster cl(cfg, ncfg, nodes);
-  rse::RseController rse(cl, rse::FlowControl::Chained);
+  rse::RseController rse(cl, bench::bench_flow());
   rse::policy::PolicyConfig pcfg;
   pcfg.kind = bench::bench_policy();
+  pcfg.pins = bench::bench_pin_sites();
   rse::policy::PolicyEngine policy(cl, pcfg);
   ompnow::Team team(cl, ompnow::SeqMode::Adaptive, &rse, &policy);
 

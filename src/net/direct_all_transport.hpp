@@ -14,8 +14,8 @@ class DirectAllTransport final : public SwitchedTransport {
                      std::vector<std::unique_ptr<Nic>>& nics)
       : SwitchedTransport(eng, cfg, nics) {}
 
-  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
-                        const DeliverFn& deliver) override;
+  void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                 const AccountFn& account) override;
 
   /// The source transmits every fan-out frame itself.
   [[nodiscard]] std::size_t sender_frames(std::size_t receivers) const override {

@@ -4,9 +4,7 @@ namespace repseq::net {
 
 sim::SimTime Hub::transmit(std::size_t wire_bytes, sim::SimTime ready) {
   const sim::SimTime start = std::max({eng_.now(), ready, medium_free_});
-  const auto tx_ns = static_cast<std::int64_t>(
-      static_cast<double>(wire_bytes) / cfg_.hub_bytes_per_sec * 1e9);
-  const sim::SimDuration tx{tx_ns};
+  const sim::SimDuration tx = cfg_.hub_tx_time(wire_bytes);
   medium_free_ = start + tx;
   busy_total_ += tx;
   return medium_free_ + cfg_.hub_latency;

@@ -2,16 +2,16 @@
 
 namespace repseq::net {
 
-std::size_t HubSwitchTransport::multicast(const Message& msg, std::size_t wire_bytes,
-                                          const DeliverFn& deliver) {
+void HubSwitchTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                   const DeliverFn& deliver, const AccountFn& account) {
   // One frame occupies the shared medium; all receivers see it at the same
   // instant once it has fully propagated.
   const sim::SimTime done = hub_.transmit(wire_bytes, eng_.now());
+  account(1);
   for (NodeId n = 0; n < nics_.size(); ++n) {
     if (n == msg.src) continue;  // the sender consumes its own data locally
     deliver(n, done);
   }
-  return 1;
 }
 
 }  // namespace repseq::net

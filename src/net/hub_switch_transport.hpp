@@ -14,8 +14,8 @@ class HubSwitchTransport final : public SwitchedTransport {
                      std::vector<std::unique_ptr<Nic>>& nics)
       : SwitchedTransport(eng, cfg, nics), hub_(eng, cfg) {}
 
-  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
-                        const DeliverFn& deliver) override;
+  void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                 const AccountFn& account) override;
 
   /// The single hub is shard 0 of a one-shard medium.
   [[nodiscard]] sim::SimDuration shard_busy(std::size_t s) const override {

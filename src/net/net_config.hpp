@@ -129,6 +129,22 @@ struct NetConfig {
     const std::size_t frags = payload == 0 ? 1 : (payload + max_frag - 1) / max_frag;
     return payload + frags * header_bytes;
   }
+
+  /// Serialization time of one frame on a switched link (uplink or switch
+  /// port).  The single source of the bytes -> wire-time conversion: every
+  /// link-rate resource (Nic, SwitchFabric, the tree transport's busy
+  /// accounting) must agree to the nanosecond or occupancy conservation
+  /// checks drift.
+  [[nodiscard]] sim::SimDuration link_tx_time(std::size_t bytes) const {
+    return sim::SimDuration{static_cast<std::int64_t>(
+        static_cast<double>(bytes) / link_bytes_per_sec * 1e9)};
+  }
+
+  /// Serialization time of one frame on the shared multicast hub medium.
+  [[nodiscard]] sim::SimDuration hub_tx_time(std::size_t bytes) const {
+    return sim::SimDuration{static_cast<std::int64_t>(
+        static_cast<double>(bytes) / hub_bytes_per_sec * 1e9)};
+  }
 };
 
 }  // namespace repseq::net

@@ -15,11 +15,7 @@ Network::Network(sim::Engine& eng, NetConfig cfg, std::size_t nodes)
 }
 
 bool Network::deliver_at(sim::SimTime t, NodeId dst, const Message& msg) {
-  if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
-      loss_rng_.chance(cfg_.loss_probability)) {
-    ++losses_injected_;
-    return false;
-  }
+  if (lose_frame(msg)) return false;
   eng_.schedule_at(t, [this, dst, msg] {
     if (nics_[dst]->deliver(msg)) {
       ++deliveries_;
@@ -46,32 +42,8 @@ std::uint64_t Network::unicast(Message msg) {
   return msg.id;
 }
 
-std::uint64_t Network::multicast(Message msg) {
-  REPSEQ_CHECK(msg.src < nics_.size(), "bad multicast src");
-  msg.dst = kMulticastDst;
-  msg.id = next_id_++;
-  const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
-  if (tap_) tap_(msg, wire, /*is_multicast=*/true);
-
-  const sim::SimTime sent = eng_.now();
-  // Frame accounting is backend-dependent: a true multicast medium carries
-  // one frame regardless of group size (paper: "each multicast message is
-  // counted as a single message"); unicast-composed backends pay per edge
-  // actually transmitted (loss can prune a forwarding tree's subtrees).
-  std::vector<std::pair<sim::SimTime, NodeId>> sched;
-  const std::size_t frames =
-      transport_->multicast(msg, wire, [&](NodeId dst, sim::SimTime at) {
-        REPSEQ_CHECK(at >= sent, "transport delivered into the past");
-        if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
-            loss_rng_.chance(cfg_.loss_probability)) {
-          ++losses_injected_;
-          return false;
-        }
-        sched.emplace_back(at, dst);
-        return true;
-      });
-  messages_sent_ += frames;
-  bytes_sent_ += frames * wire;
+void Network::flush_group_schedule(const std::vector<std::pair<sim::SimTime, NodeId>>& sched,
+                                   const Message& msg) {
   // One simulation event per run of equal delivery times: the hub reaches
   // every receiver simultaneously, so its group send stays a single event.
   for (std::size_t i = 0; i < sched.size();) {
@@ -87,7 +59,94 @@ std::uint64_t Network::multicast(Message msg) {
     });
     i = j;
   }
-  return msg.id;
+}
+
+bool Network::lose_frame(const Message& msg) {
+  if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
+      loss_rng_.chance(cfg_.loss_probability)) {
+    ++losses_injected_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Network::multicast(Message msg, McastAccount account) {
+  REPSEQ_CHECK(msg.src < nics_.size(), "bad multicast src");
+  msg.dst = kMulticastDst;
+  msg.id = next_id_++;
+  const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
+  if (tap_) tap_(msg, wire, /*is_multicast=*/true);
+  const sim::SimTime sent = eng_.now();
+
+  // Frame accounting is backend-dependent: a true multicast medium carries
+  // one frame regardless of group size (paper: "each multicast message is
+  // counted as a single message"); unicast-composed backends pay per edge
+  // actually transmitted, reported hop by hop.
+
+  if (!transport_->defers_delivery()) {
+    // Synchronous backends: every callback fires inside this call, so the
+    // whole send stays on the stack -- no per-send allocation.
+    std::vector<std::pair<sim::SimTime, NodeId>> sched;
+    transport_->multicast(
+        msg, wire,
+        [&](NodeId dst, sim::SimTime at) {
+          REPSEQ_CHECK(at >= sent, "transport delivered into the past");
+          if (lose_frame(msg)) return false;
+          sched.emplace_back(at, dst);
+          return true;
+        },
+        [&](std::size_t frames) {
+          messages_sent_ += frames;
+          bytes_sent_ += frames * wire;
+          if (account) account(frames, frames * wire);
+        });
+    flush_group_schedule(sched, msg);
+    return msg.id;
+  }
+
+  // Event-driven backend: interior hops commit from deferred forwarding
+  // events, so both callbacks outlive this call and must own their state
+  // (loss can prune a forwarding tree's subtrees before they are charged).
+  struct Burst {
+    Network* nw;
+    Message msg;
+    std::size_t wire;
+    sim::SimTime sent;
+    McastAccount account;
+    /// Deliveries reported synchronously (the root's own hops), batched
+    /// by flush_group_schedule like any synchronous send.
+    bool collecting = true;
+    std::vector<std::pair<sim::SimTime, NodeId>> sched;
+  };
+  auto b = std::make_shared<Burst>(
+      Burst{this, std::move(msg), wire, sent, std::move(account), /*collecting=*/true, {}});
+
+  transport_->multicast(
+      b->msg, wire,
+      [b](NodeId dst, sim::SimTime at) {
+        Network& nw = *b->nw;
+        REPSEQ_CHECK(at >= b->sent, "transport delivered into the past");
+        if (nw.lose_frame(b->msg)) return false;
+        if (b->collecting) {
+          b->sched.emplace_back(at, dst);
+        } else {
+          // Deferred forwarding hop: schedule this receiver on its own.
+          nw.eng_.schedule_at(at, [&nw, dst, msg = b->msg] {
+            if (nw.nics_[dst]->deliver(msg)) ++nw.deliveries_;
+          });
+        }
+        return true;
+      },
+      [b](std::size_t frames) {
+        b->nw->messages_sent_ += frames;
+        b->nw->bytes_sent_ += frames * b->wire;
+        if (b->account) b->account(frames, frames * b->wire);
+      });
+
+  b->collecting = false;
+  flush_group_schedule(b->sched, b->msg);
+  b->sched.clear();
+  return b->msg.id;
 }
 
 std::uint64_t Network::total_drops() const {

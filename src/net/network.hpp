@@ -31,8 +31,17 @@ class Network {
   /// Must be called from a fiber of the source node (timing uses `now`).
   std::uint64_t unicast(Message msg);
 
-  /// Sends to every *other* node (single multicast group).
-  std::uint64_t multicast(Message msg);
+  /// Per-send wire accounting for a group send, invoked once per batch of
+  /// frames the transport commits to the wire -- possibly *after*
+  /// multicast() returned, from a deferred forwarding event (event-driven
+  /// tree).  Callers that charge frames to per-phase/per-shard counters
+  /// must capture stable references: the callback outlives the send call.
+  using McastAccount = std::function<void(std::size_t frames, std::size_t bytes)>;
+
+  /// Sends to every *other* node (single multicast group).  Frame/byte
+  /// accounting is backend-dependent and may be deferred; `account` (when
+  /// set) observes every frame as it is committed.
+  std::uint64_t multicast(Message msg, McastAccount account = {});
 
   [[nodiscard]] Nic& nic(NodeId n) { return *nics_[n]; }
   [[nodiscard]] std::size_t node_count() const { return nics_.size(); }
@@ -87,6 +96,15 @@ class Network {
   /// whether the frame survives (transports use this to prune forwarding
   /// downstream of a lost frame).
   bool deliver_at(sim::SimTime t, NodeId dst, const Message& msg);
+
+  /// The per-delivery loss decision (honoring the loss filter); consumes
+  /// one RNG draw per lossable delivery and counts injected losses.
+  bool lose_frame(const Message& msg);
+
+  /// Schedules batched inbox deliveries: one simulation event per run of
+  /// equal arrival times in `sched`.
+  void flush_group_schedule(const std::vector<std::pair<sim::SimTime, NodeId>>& sched,
+                            const Message& msg);
 
   sim::Engine& eng_;
   NetConfig cfg_;

@@ -6,9 +6,7 @@ namespace repseq::net {
 
 sim::SimTime Nic::reserve_uplink(std::size_t wire_bytes, sim::SimTime ready) {
   const sim::SimTime start = std::max({eng_.now(), ready, uplink_free_});
-  const auto tx_ns = static_cast<std::int64_t>(
-      static_cast<double>(wire_bytes) / cfg_.link_bytes_per_sec * 1e9);
-  uplink_free_ = start + sim::SimDuration{tx_ns};
+  uplink_free_ = start + cfg_.link_tx_time(wire_bytes);
   return uplink_free_;
 }
 

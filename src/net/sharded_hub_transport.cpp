@@ -12,18 +12,18 @@ ShardedHubTransport::ShardedHubTransport(sim::Engine& eng, const NetConfig& cfg,
   for (std::size_t s = 0; s < shards; ++s) hubs_.emplace_back(eng, cfg);
 }
 
-std::size_t ShardedHubTransport::multicast(const Message& msg, std::size_t wire_bytes,
-                                           const DeliverFn& deliver) {
+void ShardedHubTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                    const DeliverFn& deliver, const AccountFn& account) {
   // One frame occupies the group's shard of the medium; all receivers see
   // it at the same instant once it has fully propagated.  Frames on other
   // shards are concurrent.
   Hub& hub = hubs_[shard_of(msg.mcast_group, hubs_.size())];
   const sim::SimTime done = hub.transmit(wire_bytes, eng_.now());
+  account(1);
   for (NodeId n = 0; n < nics_.size(); ++n) {
     if (n == msg.src) continue;  // the sender consumes its own data locally
     deliver(n, done);
   }
-  return 1;
 }
 
 }  // namespace repseq::net

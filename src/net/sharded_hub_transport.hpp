@@ -19,8 +19,8 @@ class ShardedHubTransport final : public SwitchedTransport {
   ShardedHubTransport(sim::Engine& eng, const NetConfig& cfg,
                       std::vector<std::unique_ptr<Nic>>& nics);
 
-  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
-                        const DeliverFn& deliver) override;
+  void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                 const AccountFn& account) override;
 
   [[nodiscard]] std::size_t shard_count() const override { return hubs_.size(); }
   [[nodiscard]] sim::SimDuration shard_busy(std::size_t s) const override {

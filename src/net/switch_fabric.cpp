@@ -7,9 +7,7 @@ namespace repseq::net {
 sim::SimTime SwitchFabric::forward(NodeId dst, std::size_t wire_bytes, sim::SimTime arrival) {
   REPSEQ_CHECK(dst < port_free_.size(), "switch port out of range");
   const sim::SimTime start = std::max(arrival, port_free_[dst]);
-  const auto tx_ns = static_cast<std::int64_t>(
-      static_cast<double>(wire_bytes) / cfg_.link_bytes_per_sec * 1e9);
-  port_free_[dst] = start + sim::SimDuration{tx_ns};
+  port_free_[dst] = start + cfg_.link_tx_time(wire_bytes);
   return port_free_[dst] + cfg_.hop_latency;
 }
 

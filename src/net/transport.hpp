@@ -10,6 +10,15 @@
 // The facade decides loss per reported delivery and returns the outcome, so
 // store-and-forward backends can model a lost frame cutting off everything
 // downstream of it.
+//
+// Accounting is a callback, not a return value: a store-and-forward backend
+// puts frames on the wire from *deferred forwarding events* (an interior
+// tree node transmits only after its own copy has arrived), so the frame
+// count of a group send is not known when multicast() returns.  A backend
+// calls the AccountFn once per frame at the virtual instant that frame's
+// transmission is committed; single-medium backends account their one frame
+// synchronously.  Hops cut off by an upstream loss are never accounted --
+// they were never transmitted.
 #pragma once
 
 #include <functional>
@@ -27,8 +36,15 @@ namespace repseq::net {
 
 /// Invoked by a transport once per receiver with the arrival time of the
 /// frame's last byte at that receiver's NIC.  Returns false when loss
-/// injection consumed the frame (the receiver never saw it).
+/// injection consumed the frame (the receiver never saw it).  May be
+/// invoked after multicast() returned, from a deferred forwarding event;
+/// the facade keeps the callback state alive for the whole propagation.
 using DeliverFn = std::function<bool(NodeId dst, sim::SimTime at)>;
+
+/// Invoked by a transport once per frame put on the wire, at the virtual
+/// instant the transmission is committed (possibly from a deferred
+/// forwarding event).  The facade owns the per-frame byte size.
+using AccountFn = std::function<void(std::size_t frames)>;
 
 class Transport {
  public:
@@ -45,12 +61,20 @@ class Transport {
 
   /// Models a group send to every node except msg.src; calls `deliver` at
   /// most once per receiver (a store-and-forward backend skips receivers
-  /// cut off by an upstream loss), in a deterministic order.  Returns the
-  /// number of frames actually put on the wire: 1 for a true multicast
+  /// cut off by an upstream loss), in a deterministic order, and `account`
+  /// once per frame actually put on the wire: 1 for a true multicast
   /// medium (the paper counts "each multicast message as a single
-  /// message"); unicast-composed backends pay per edge transmitted.
-  virtual std::size_t multicast(const Message& msg, std::size_t wire_bytes,
-                                const DeliverFn& deliver) = 0;
+  /// message"); unicast-composed backends pay per edge transmitted.  Both
+  /// callbacks may fire after this call returns, from deferred forwarding
+  /// events (event-driven store-and-forward backends).
+  virtual void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                         const AccountFn& account) = 0;
+
+  /// True when this backend may invoke a group send's callbacks *after*
+  /// multicast() returns (event-driven store-and-forward).  The facade
+  /// keeps callback state on the stack for synchronous backends and only
+  /// promotes it to shared ownership when the backend defers.
+  [[nodiscard]] virtual bool defers_delivery() const { return false; }
 
   /// Frames the *source node itself* transmits for one group send -- what
   /// its CPU is charged send overhead for.  1 on a multicast medium; the
@@ -68,7 +92,11 @@ class Transport {
   [[nodiscard]] virtual std::size_t shard_count() const { return 1; }
 
   /// Total time shard `s` of the multicast medium was busy transmitting
-  /// (hub occupancy).  Zero for backends without a shared medium.
+  /// (hub occupancy).  The forwarding tree has no shared medium but still
+  /// reports its aggregate forwarding-uplink transmit time here, so
+  /// occupancy conservation can be checked per backend; the fan-out
+  /// strawman reports zero (its cost is already fully visible as source
+  /// uplink serialization).
   [[nodiscard]] virtual sim::SimDuration shard_busy(std::size_t s) const {
     (void)s;
     return {};

@@ -1,46 +1,54 @@
 #include "net/tree_multicast_transport.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace repseq::net {
 
-std::size_t TreeMulticastTransport::multicast(const Message& msg, std::size_t wire_bytes,
-                                              const DeliverFn& deliver) {
+struct TreeMulticastTransport::Flight {
+  NodeId src;
+  std::size_t nodes;
+  std::size_t fanout;
+  std::size_t wire_bytes;
+  DeliverFn deliver;
+  AccountFn account;
+
+  [[nodiscard]] NodeId node_at(std::size_t pos) const {
+    return static_cast<NodeId>((src + pos) % nodes);
+  }
+};
+
+void TreeMulticastTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                       const DeliverFn& deliver, const AccountFn& account) {
   const std::size_t n = nics_.size();
-  if (n <= 1) return 0;
+  if (n <= 1) return;
   const std::size_t k = std::max<std::size_t>(1, cfg_.mcast_tree_fanout);
+  // The callbacks outlive this call: interior hops run as scheduled events
+  // at their parents' arrival instants, so the flight state is shared by
+  // (and kept alive through) every pending forwarding event.
+  auto fl = std::make_shared<const Flight>(Flight{msg.src, n, k, wire_bytes, deliver, account});
+  forward_children(fl, 0);
+}
 
-  const auto node_at = [&](std::size_t pos) {
-    return static_cast<NodeId>((msg.src + pos) % n);
-  };
-
-  // at[p]: time the node at tree position p holds the complete frame.
-  // Children are forwarded in position order, so an interior node's
-  // transmissions serialize on its own uplink after its receive time.
-  // Store-and-forward semantics: a node that lost its frame (deliver
-  // returned false) has nothing to forward, so its whole subtree is cut
-  // off -- exactly the failure mode a real software multicast tree has.
-  //
-  // Known approximation: all edge reservations are placed at send time,
-  // so an interior node's unrelated unicast issued during the propagation
-  // window queues behind a forward it has not yet received (instead of
-  // ahead of it).  Total uplink utilization is conserved; only the
-  // interleaving within that window can be misordered.  Exact modeling
-  // needs event-driven per-hop forwarding (see ROADMAP).
-  std::vector<sim::SimTime> at(n);
-  std::vector<char> reached(n, 0);
-  at[0] = eng_.now();
-  reached[0] = 1;
-  std::size_t frames = 0;
-  for (std::size_t p = 0; p < n; ++p) {
-    if (!reached[p]) continue;
-    for (std::size_t c = k * p + 1; c <= k * p + k && c < n; ++c) {
-      at[c] = forward_hop(node_at(p), node_at(c), wire_bytes, at[p]);
-      ++frames;
-      reached[c] = deliver(node_at(c), at[c]) ? 1 : 0;
+void TreeMulticastTransport::forward_children(const std::shared_ptr<const Flight>& fl,
+                                              std::size_t pos) {
+  // The node at `pos` holds the complete frame as of now (the root at send
+  // time, an interior node at its arrival event), so its child transmissions
+  // reserve its uplink starting now -- serialized in true arrival order with
+  // any unrelated traffic that node sends.  Store-and-forward semantics: a
+  // child whose frame was consumed by loss injection (deliver returned
+  // false) has nothing to forward, so its whole subtree is cut off without
+  // transmitting -- or charging -- a single downstream hop.
+  for (std::size_t c = fl->fanout * pos + 1; c <= fl->fanout * pos + fl->fanout; ++c) {
+    if (c >= fl->nodes) break;
+    const sim::SimTime at =
+        forward_hop(fl->node_at(pos), fl->node_at(c), fl->wire_bytes, eng_.now());
+    busy_total_ += cfg_.link_tx_time(fl->wire_bytes);
+    fl->account(1);
+    if (fl->deliver(fl->node_at(c), at)) {
+      eng_.schedule_at(at, [this, fl, c] { forward_children(fl, c); });
     }
   }
-  return frames;
 }
 
 }  // namespace repseq::net

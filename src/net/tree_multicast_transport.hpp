@@ -8,9 +8,17 @@
 // is the sender, and position p maps to node (src + p) mod N -- every sender
 // gets the same tree shape over a rotated node ordering, so no fixed node is
 // always a leaf.
+//
+// Forwarding is event-driven: an interior node's transmissions to its
+// children are scheduled from the event at which its own copy of the frame
+// arrives, so its uplink serializes forwards with whatever *other* traffic
+// it sends, in true arrival order.  Frame accounting is therefore deferred:
+// each hop reports itself through the AccountFn at the instant it is
+// committed, and a hop downstream of a lost frame is never charged.
 #pragma once
 
 #include <algorithm>
+#include <memory>
 
 #include "net/transport.hpp"
 
@@ -22,13 +30,36 @@ class TreeMulticastTransport final : public SwitchedTransport {
                          std::vector<std::unique_ptr<Nic>>& nics)
       : SwitchedTransport(eng, cfg, nics) {}
 
-  std::size_t multicast(const Message& msg, std::size_t wire_bytes,
-                        const DeliverFn& deliver) override;
+  void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                 const AccountFn& account) override;
+
+  /// Interior hops run as scheduled events after multicast() returns.
+  [[nodiscard]] bool defers_delivery() const override { return true; }
 
   /// The root transmits only to its own children.
   [[nodiscard]] std::size_t sender_frames(std::size_t receivers) const override {
     return std::min(receivers, cfg_.mcast_tree_fanout > 0 ? cfg_.mcast_tree_fanout : 1);
   }
+
+  /// Aggregate uplink transmit time spent forwarding multicast frames (all
+  /// tree edges, root and interior alike).  The tree has no shared medium;
+  /// this is the number that must be conserved frame-for-frame against the
+  /// single-hub model's busy time in the uncontended case.
+  [[nodiscard]] sim::SimDuration shard_busy(std::size_t s) const override {
+    return s == 0 ? busy_total_ : sim::SimDuration{};
+  }
+
+ private:
+  /// One in-flight group send: the callbacks and frame geometry shared by
+  /// every forwarding event of its propagation (kept alive by the events).
+  struct Flight;
+
+  /// Transmits the frame from tree position `pos` (whose node holds a
+  /// complete copy as of the current virtual instant) to each of its
+  /// children, scheduling each child's own forwarding at its arrival.
+  void forward_children(const std::shared_ptr<const Flight>& fl, std::size_t pos);
+
+  sim::SimDuration busy_total_{};
 };
 
 }  // namespace repseq::net

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string_view>
 
@@ -26,6 +27,7 @@ enum class SectionStrategy : std::uint8_t {
 inline constexpr std::size_t kStrategyCount = 3;
 
 [[nodiscard]] const char* strategy_name(SectionStrategy s);
+[[nodiscard]] std::optional<SectionStrategy> parse_strategy(std::string_view s);
 
 /// Decision procedures layered over the shared cost model.
 enum class PolicyKind : std::uint8_t {
@@ -58,7 +60,21 @@ struct PolicyConfig {
 
   /// EWMA smoothing factor for the per-site telemetry (0 < alpha <= 1).
   double alpha = 0.5;
+
+  /// Per-site strategy pins for A/B runs (REPSEQ_PIN_SITE): a pinned site
+  /// always executes its pinned strategy -- including its *first*
+  /// occurrence, which skips the execute-and-broadcast bootstrap probe the
+  /// adaptive path would otherwise run there.  Unpinned sites adapt
+  /// normally; telemetry is still collected everywhere.
+  std::map<std::uint32_t, SectionStrategy> pins;
 };
+
+/// Parses a pin list of the form `<site>=<strategy>[,<site>=<strategy>...]`
+/// (strategy accepts the strategy_name spellings).  Returns nullopt -- it
+/// never guesses -- on any malformed entry; the caller reports the
+/// offending value.
+[[nodiscard]] std::optional<std::map<std::uint32_t, SectionStrategy>> parse_pin_sites(
+    std::string_view s);
 
 /// One entry of the per-section decision log.  The (seq, site, strategy,
 /// switched) tuple is what the master multicasts at section entry and what

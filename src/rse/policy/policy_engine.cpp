@@ -38,6 +38,38 @@ std::optional<PolicyKind> parse_policy(std::string_view s) {
   return std::nullopt;
 }
 
+std::optional<SectionStrategy> parse_strategy(std::string_view s) {
+  if (s == "master-only" || s == "master") return SectionStrategy::MasterOnly;
+  if (s == "replicated") return SectionStrategy::Replicated;
+  if (s == "broadcast") return SectionStrategy::BroadcastAfter;
+  return std::nullopt;
+}
+
+std::optional<std::map<std::uint32_t, SectionStrategy>> parse_pin_sites(std::string_view s) {
+  std::map<std::uint32_t, SectionStrategy> pins;
+  if (s.empty()) return pins;
+  while (true) {
+    const std::size_t comma = s.find(',');
+    const std::string_view entry = s.substr(0, comma);
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) return std::nullopt;
+    std::uint64_t site = 0;
+    for (const char ch : entry.substr(0, eq)) {
+      if (ch < '0' || ch > '9') return std::nullopt;
+      site = site * 10 + static_cast<std::uint64_t>(ch - '0');
+      if (site > 0xffffffffull) return std::nullopt;  // would wrap the site id
+    }
+    const auto strat = parse_strategy(entry.substr(eq + 1));
+    if (!strat) return std::nullopt;
+    // A duplicate site is a contradictory pin list, not a tiebreak.
+    if (!pins.emplace(static_cast<std::uint32_t>(site), *strat).second) return std::nullopt;
+    if (comma == std::string_view::npos) break;
+    s = s.substr(comma + 1);
+    if (s.empty()) return std::nullopt;  // trailing comma
+  }
+  return pins;
+}
+
 PolicyEngine::PolicyEngine(tmk::Cluster& cluster, PolicyConfig cfg)
     : cluster_(cluster),
       cfg_(cfg),
@@ -131,7 +163,12 @@ SectionStrategy PolicyEngine::open_section(tmk::NodeRuntime& master, std::uint32
 
   auto [it, inserted] = sites_.try_emplace(site);
   SiteState& st = it->second;
-  const SectionStrategy chosen = decide(st);
+  // A pinned site bypasses the decision procedure entirely -- on its first
+  // occurrence too, which would otherwise run the execute-and-broadcast
+  // bootstrap probe: an A/B pin must never leak probe traffic into the
+  // measurement it exists for.  Telemetry still accumulates normally.
+  const auto pin = cfg_.pins.find(site);
+  const SectionStrategy chosen = pin != cfg_.pins.end() ? pin->second : decide(st);
   const bool switched = st.profile.runs > 0 && chosen != st.current;
   if (switched) {
     ++switches_;

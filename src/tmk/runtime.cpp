@@ -490,25 +490,26 @@ void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
     cpu_.flush();
     cpu_.compute(ncfg.send_overhead * sender_frames);
   }
-  // Wire accounting follows the backend: charge this node's phase counters
-  // with the frames/bytes the transport actually put on the wire (loss can
-  // prune a forwarding tree, so the nominal per-edge count can overshoot).
-  const std::uint64_t msgs_before = nw.messages_sent();
-  const std::uint64_t bytes_before = nw.bytes_sent();
-  const std::size_t shard = nw.shard_of_group(msg.mcast_group);
-  nw.multicast(std::move(msg));
-  const std::uint64_t wire_frames = nw.messages_sent() - msgs_before;
-  const std::uint64_t wire_bytes = nw.bytes_sent() - bytes_before;
+  if (kind == MsgKind::McastNullAck) ++stats_.for_phase(cluster_.phase()).null_acks_sent;
+  // Wire accounting follows the backend, frame by frame as hops commit:
+  // the event-driven tree transmits interior hops from deferred forwarding
+  // events (and a lost frame prunes its whole subtree uncharged), so the
+  // charge lands through a callback instead of a synchronous count.  Each
+  // frame is attributed to the phase and shard of the *send*, whose traffic
+  // it is, even if it commits after a phase flip.
   PhaseCounters& c = stats_.for_phase(cluster_.phase());
-  c.msgs_sent += wire_frames;
-  c.bytes_sent += wire_bytes;
-  c.shard(shard).mcast_msgs += wire_frames;
-  c.shard(shard).mcast_bytes += wire_bytes;
-  if (is_diff_traffic(kind)) {
-    c.diff_msgs_sent += wire_frames;
-    c.diff_bytes_sent += wire_bytes;
-  }
-  if (kind == MsgKind::McastNullAck) ++c.null_acks_sent;
+  const std::size_t shard = nw.shard_of_group(msg.mcast_group);
+  const bool diff = is_diff_traffic(kind);
+  nw.multicast(std::move(msg), [&c, shard, diff](std::size_t frames, std::size_t bytes) {
+    c.msgs_sent += frames;
+    c.bytes_sent += bytes;
+    c.shard(shard).mcast_msgs += frames;
+    c.shard(shard).mcast_bytes += bytes;
+    if (diff) {
+      c.diff_msgs_sent += frames;
+      c.diff_bytes_sent += bytes;
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -792,10 +793,35 @@ void NodeRuntime::register_base_protocol(ProtocolEngine& engine) {
   });
   engine.on(MsgKind::BcastUpdate, [](NodeRuntime& rt, const net::Message& msg) {
     // Push-style section broadcast (Sections 4.2 / 6.1.2 alternatives):
-    // log+invalidate the notices, then apply their diffs immediately.
+    // log+invalidate the notices, then apply their diffs immediately --
+    // but only for pages this batch makes fully valid.  A receiver may
+    // still owe a page an *older* third-party notice it never pulled
+    // (say, another slave's pre-section writes): eagerly applying the
+    // master's newer diff there clears only the master's notice, and the
+    // eventual fault would pull the older diff on top of the newer data,
+    // clobbering it.  Such pages skip the eager path entirely -- they stay
+    // invalid, and the pull path fetches every pending diff together,
+    // causally ordered.
     const auto& u = msg.as<BcastUpdateP>();
     for (const IntervalRecordPtr& rec : u.records) rt.apply_notice(rec, /*on_server=*/true);
-    rt.apply_packets_causally(u.packets, /*on_server=*/true);
+    std::map<PageId, std::set<std::pair<NodeId, std::uint32_t>>> covered;
+    for (const DiffPacket& pkt : u.packets) {
+      auto& c = covered[pkt.page];
+      for (std::uint32_t i : pkt.covers) c.emplace(pkt.owner, i);
+    }
+    std::map<PageId, bool> page_complete;
+    for (const auto& [page, c] : covered) {
+      const auto& pending = rt.page(page).pending;
+      page_complete[page] =
+          std::all_of(pending.begin(), pending.end(), [&](const IntervalRecordPtr& r) {
+            return c.contains({r->owner, r->index});
+          });
+    }
+    std::vector<DiffPacket> complete;
+    for (const DiffPacket& pkt : u.packets) {
+      if (page_complete[pkt.page]) complete.push_back(pkt);
+    }
+    if (!complete.empty()) rt.apply_packets_causally(std::move(complete), /*on_server=*/true);
     rt.send_unicast(MsgKind::BcastAck, msg.src, BcastAckP{u.req_id}, /*on_server=*/true);
   });
   engine.on(MsgKind::BcastAck, [](NodeRuntime& rt, const net::Message& msg) {

@@ -177,6 +177,49 @@ TEST_P(TransportConformance, FullLossPrunesEveryDelivery) {
   EXPECT_LE(nw.messages_sent(), kNodes - 1);
 }
 
+TEST_P(TransportConformance, LossPruningChargesOnlyTransmittedFrames) {
+  // Deferred accounting under loss: frames, bytes and medium occupancy may
+  // be charged only for hops that were actually transmitted.  With loss
+  // probability 1 a store-and-forward backend transmits just the root's
+  // own edges -- the cut-off subtree must not appear in any counter, even
+  // though its hops would have been committed from deferred events.
+  constexpr std::size_t kNodes = 8;
+  sim::Engine eng;
+  NetConfig cfg = config_for(GetParam());
+  cfg.loss_probability = 1.0;
+  Network nw(eng, cfg, kNodes);
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 2000)); });
+  eng.run();
+
+  std::uint64_t frames = 0;      // transmitted even when lost at a receiver
+  std::uint64_t attempts = 0;    // deliveries offered to loss injection
+  switch (GetParam().kind) {
+    case TransportKind::HubSwitch:
+    case TransportKind::ShardedHub:
+      frames = 1;
+      attempts = kNodes - 1;
+      break;
+    case TransportKind::DirectAll:
+      frames = kNodes - 1;
+      attempts = kNodes - 1;
+      break;
+    case TransportKind::TreeMulticast:
+      frames = cfg.mcast_tree_fanout;  // the root's children, nothing below
+      attempts = cfg.mcast_tree_fanout;
+      break;
+  }
+  const std::size_t wire = cfg.wire_bytes(2000);
+  EXPECT_EQ(nw.messages_sent(), frames);
+  EXPECT_EQ(nw.bytes_sent(), frames * wire);
+  EXPECT_EQ(nw.losses_injected(), attempts);
+  EXPECT_EQ(nw.deliveries(), 0u);
+  if (GetParam().kind == TransportKind::TreeMulticast) {
+    // Occupancy follows the same rule: only the transmitted edges' uplink
+    // time, not the pruned subtree's.
+    EXPECT_EQ(nw.hub_busy(0), cfg.link_tx_time(wire) * static_cast<std::int64_t>(frames));
+  }
+}
+
 TEST_P(TransportConformance, DeterministicAcrossRuns) {
   const auto run_once = [this] {
     sim::Engine eng;
@@ -447,20 +490,21 @@ TEST(Transport, TreeMulticastForwardsThroughInteriorNodes) {
   EXPECT_LT(at[3], at[7]);  // depth 2 before depth 3
 }
 
-TEST(Transport, TreeMulticastInteriorOrderingApproximationPinned) {
-  // REGRESSION PIN for the documented approximation in
-  // tree_multicast_transport.cpp (ROADMAP: "event-driven tree forwarding"):
-  // all edge reservations are placed at send time, so an interior node's
-  // UNRELATED unicast issued during the propagation window queues BEHIND
-  // forwards it has not even received yet.
+TEST(Transport, TreeMulticastInteriorOrderingExactEventDriven) {
+  // Pins the event-driven per-hop forwarding model (formerly the
+  // "interior-node ordering approximation": all edge reservations were
+  // placed at send time, so an interior node's UNRELATED unicast issued
+  // during the propagation window queued BEHIND forwards it had not even
+  // received yet).  Now each hop reserves its parent's uplink from the
+  // parent's *arrival* event, so node 1's own unicast -- issued at t=0,
+  // long before the multicast frame reaches it -- leaves its uplink first
+  // and lands strictly BEFORE its forwards to nodes 3 and 4.
   //
-  // Node 1 (a root child, forwarding to nodes 3 and 4) issues a unicast to
-  // node 7 at t=0, before the multicast frame can possibly have reached it.
-  // Under exact event-driven forwarding that unicast would leave node 1's
-  // uplink first and land BEFORE the forwards; under the approximation it
-  // queues after both forward reservations and lands AFTER them.  The
-  // eventual fix must flip the two EXPECT_GT assertions to EXPECT_LT (and
-  // revisit the deferred frame accounting).
+  // Every arrival instant is asserted exactly against the wire model:
+  // fanout 2, sender 0, 8 nodes, all links idle, so a hop whose frame is
+  // complete at the parent at time T delivers child j (0-based among the
+  // parent's children) at T + (j+2)*leg + 2*hop -- j+1 uplink
+  // serializations queued on the parent plus one switch-port leg.
   sim::Engine eng;
   NetConfig cfg;
   cfg.transport = TransportKind::TreeMulticast;
@@ -487,10 +531,52 @@ TEST(Transport, TreeMulticastInteriorOrderingApproximationPinned) {
   eng.run();
   ASSERT_GT(uni_at.ns, 0);
   ASSERT_EQ(mcast_at.size(), 7u);
-  // The approximation: node 1's own unicast is misordered behind the two
-  // forwards reserved on its uplink at multicast-send time.
-  EXPECT_GT(uni_at, mcast_at[3]);
-  EXPECT_GT(uni_at, mcast_at[4]);
+
+  const sim::SimDuration leg = cfg.link_tx_time(cfg.wire_bytes(4000));
+  const sim::SimDuration hop = cfg.hop_latency;
+  const auto child_at = [&](sim::SimTime parent_at, int j) {
+    return parent_at + leg * (j + 2) + hop * 2;
+  };
+  const sim::SimTime t0{};
+  // Root (node 0) holds the frame at t=0; breadth-first positions map
+  // position p to node p for src=0.
+  EXPECT_EQ(mcast_at[1], child_at(t0, 0));
+  EXPECT_EQ(mcast_at[2], child_at(t0, 1));
+  EXPECT_EQ(mcast_at[3], child_at(mcast_at[1], 0));
+  EXPECT_EQ(mcast_at[4], child_at(mcast_at[1], 1));
+  EXPECT_EQ(mcast_at[5], child_at(mcast_at[2], 0));
+  EXPECT_EQ(mcast_at[6], child_at(mcast_at[2], 1));
+  EXPECT_EQ(mcast_at[7], child_at(mcast_at[3], 0));
+  // Node 1's unrelated unicast rides its idle uplink immediately: one
+  // switched unicast, delivered before either forward it has yet to make.
+  EXPECT_EQ(uni_at, child_at(t0, 0));
+  EXPECT_LT(uni_at, mcast_at[3]);
+  EXPECT_LT(uni_at, mcast_at[4]);
+}
+
+TEST(Transport, TreeMulticastUplinkUtilizationConserved) {
+  // Deferred accounting must conserve total uplink utilization
+  // frame-for-frame against the send-time-reservation model in the
+  // no-contention case: N-1 tree edges, each paying exactly one uplink
+  // serialization, no matter when each hop was committed.  The tree
+  // reports that aggregate as its shard-0 "busy" occupancy.
+  constexpr std::size_t kNodes = 8;
+  sim::Engine eng;
+  NetConfig cfg;
+  cfg.transport = TransportKind::TreeMulticast;
+  cfg.mcast_tree_fanout = 2;
+  Network nw(eng, cfg, kNodes);
+  for (NodeId n = 1; n < kNodes; ++n) {
+    eng.spawn("rx" + std::to_string(n),
+              [&nw, n] { (void)nw.nic(n).inbox().pop(); });
+  }
+  eng.spawn("tx", [&] { nw.multicast(make_msg(0, kMulticastDst, 4000)); });
+  eng.run();
+  const std::size_t wire = cfg.wire_bytes(4000);
+  EXPECT_EQ(nw.messages_sent(), kNodes - 1);
+  EXPECT_EQ(nw.bytes_sent(), (kNodes - 1) * wire);
+  ASSERT_EQ(nw.hub_shards(), 1u);
+  EXPECT_EQ(nw.hub_busy(0), cfg.link_tx_time(wire) * (kNodes - 1));
 }
 
 TEST(Transport, DirectAllSerializesFanOutOnSourceUplink) {

@@ -58,6 +58,79 @@ void expect_same_choices(const std::vector<Decision>& a, const std::vector<Decis
   }
 }
 
+TEST(PolicyParsing, StrategyAndPinListRoundTrip) {
+  for (SectionStrategy s : {SectionStrategy::MasterOnly, SectionStrategy::Replicated,
+                            SectionStrategy::BroadcastAfter}) {
+    const auto parsed = parse_strategy(strategy_name(s));
+    ASSERT_TRUE(parsed.has_value()) << strategy_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_EQ(parse_strategy("master"), SectionStrategy::MasterOnly);
+  EXPECT_FALSE(parse_strategy("bogus").has_value());
+
+  const auto pins = parse_pin_sites("1=broadcast,3=master-only");
+  ASSERT_TRUE(pins.has_value());
+  ASSERT_EQ(pins->size(), 2u);
+  EXPECT_EQ(pins->at(1), SectionStrategy::BroadcastAfter);
+  EXPECT_EQ(pins->at(3), SectionStrategy::MasterOnly);
+  const auto single = parse_pin_sites("2=replicated");
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->at(2), SectionStrategy::Replicated);
+
+  // Malformed pin lists are rejected outright (the env reader exits with
+  // the offending value) -- never half-parsed.
+  EXPECT_FALSE(parse_pin_sites("1").has_value());
+  EXPECT_FALSE(parse_pin_sites("=broadcast").has_value());
+  EXPECT_FALSE(parse_pin_sites("x=broadcast").has_value());
+  EXPECT_FALSE(parse_pin_sites("1=bogus").has_value());
+  EXPECT_FALSE(parse_pin_sites("1=broadcast,,2=master").has_value());
+  EXPECT_FALSE(parse_pin_sites("1=broadcast,").has_value());
+  EXPECT_FALSE(parse_pin_sites("1=broadcast,1=master-only").has_value());
+  // A site id past uint32 must fail, not silently wrap onto another site.
+  EXPECT_FALSE(parse_pin_sites("4294967297=broadcast").has_value());
+  EXPECT_TRUE(parse_pin_sites("4294967295=broadcast").has_value());
+}
+
+TEST(Policy, PinnedSiteSkipsProbeAndHoldsItsStrategy) {
+  // REPSEQ_PIN_SITE semantics: a pinned site executes the pinned strategy
+  // on EVERY occurrence -- including the first, which for an unpinned site
+  // would run the execute-and-broadcast bootstrap probe -- while unpinned
+  // sites adapt normally.  Results must stay bit-identical.
+  const auto cfg = small_ilink();
+  const RunReport free_run = run_ilink(opts(Mode::Adaptive, 6), cfg);
+
+  RunOptions pinned = opts(Mode::Adaptive, 6);
+  pinned.policy.pins[apps::ilink::kSectionSumContrib] = SectionStrategy::MasterOnly;
+  const RunReport pin_run = run_ilink(pinned, cfg);
+
+  EXPECT_EQ(pin_run.checksum, free_run.checksum);
+  ASSERT_FALSE(pin_run.decisions.empty());
+
+  bool saw_pinned = false;
+  bool first_of_pinned = true;
+  std::vector<std::uint32_t> seen;
+  for (const Decision& d : pin_run.decisions) {
+    const bool first = std::find(seen.begin(), seen.end(), d.site) == seen.end();
+    if (first) seen.push_back(d.site);
+    if (d.site == apps::ilink::kSectionSumContrib) {
+      saw_pinned = true;
+      EXPECT_EQ(d.strategy, SectionStrategy::MasterOnly)
+          << "pinned site deviated at seq " << d.seq;
+      if (first_of_pinned) {
+        // The probe-bracket fix: no broadcast probe on a pinned site's
+        // first occurrence.
+        EXPECT_FALSE(d.switched);
+        first_of_pinned = false;
+      }
+    } else if (first) {
+      // Unpinned sites still bootstrap with the broadcast probe.
+      EXPECT_EQ(d.strategy, SectionStrategy::BroadcastAfter)
+          << "unpinned site " << d.site << " lost its bootstrap probe";
+    }
+  }
+  EXPECT_TRUE(saw_pinned);
+}
+
 TEST(PolicyParsing, NamesRoundTrip) {
   for (PolicyKind k : {PolicyKind::Static, PolicyKind::Greedy, PolicyKind::Hysteresis}) {
     const auto parsed = parse_policy(policy_name(k));

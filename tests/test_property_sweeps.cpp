@@ -4,12 +4,14 @@
 // page boundaries must behave like plain ones.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
 
 #include "ompnow/team.hpp"
 #include "rse/controller.hpp"
+#include "rse/policy/policy_engine.hpp"
 #include "tmk/access.hpp"
 #include "tmk/runtime.hpp"
 
@@ -287,6 +289,132 @@ INSTANTIATE_TEST_SUITE_P(
       name += f == rse::FlowControl::Chained    ? "Chained"
               : f == rse::FlowControl::Windowed ? "Windowed"
                                                 : "None";
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Cross-backend ordering invariance: the event-driven tree reorders an
+// interior node's own traffic against its forwards (true arrival order), the
+// sharded hub interleaves rounds across media -- but the protocol result may
+// never notice.  Checksums and interval vectors must be identical across
+// HubSwitch / ShardedHub S in {1, 4} / event-driven TreeMulticast for every
+// section mode x flow-control x policy combination.
+// ---------------------------------------------------------------------------
+
+struct OrderingAxis {
+  SeqMode mode;
+  rse::FlowControl flow;
+  rse::policy::PolicyKind policy;  // consulted in SeqMode::Adaptive only
+};
+
+ShardRunResult run_ordering_workload(const net::NetConfig& ncfg, const OrderingAxis& ax) {
+  constexpr std::size_t kNodes = 5;
+  constexpr std::size_t kElems = 2048;
+  TmkConfig cfg;
+  cfg.page_bytes = 1024;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, ncfg, kNodes);
+  rse::RseController rse(cl, ax.flow);
+  std::unique_ptr<rse::policy::PolicyEngine> policy;
+  if (ax.mode == SeqMode::Adaptive) {
+    rse::policy::PolicyConfig pcfg;
+    pcfg.kind = ax.policy;
+    policy = std::make_unique<rse::policy::PolicyEngine>(cl, pcfg);
+  }
+  ompnow::Team team(cl, ax.mode, &rse, policy.get());
+  auto a = ShArray<long>::alloc(cl, kElems, /*page_aligned=*/true);
+
+  ShardRunResult out;
+  cl.run([&](NodeRuntime&) {
+    team.parallel_for(0, kElems, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      a.store(static_cast<std::size_t>(i), 5 * i + 3);
+    });
+    // Two stamped sites so an adaptive policy has a site mix to decide
+    // over (and its section-open multicasts ride every backend's ordering).
+    for (int round = 0; round < 2; ++round) {
+      team.sequential(1, [&](const Ctx&) {
+        for (std::size_t i = 0; i < kElems; ++i) a.store(i, a.load(i) % 1000003 + 11);
+      });
+      team.parallel_for(0, kElems, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+        a.store(static_cast<std::size_t>(i), a.load(static_cast<std::size_t>(i)) * 2 + 1);
+      });
+      team.sequential(2, [&](const Ctx&) {
+        long s = 0;
+        for (std::size_t i = 0; i < kElems; ++i) s += a.load(i);
+        out.checksum = s;
+      });
+    }
+  });
+  for (net::NodeId n = 0; n < kNodes; ++n) {
+    out.interval_vectors.push_back(cl.node(n).vc());
+  }
+  return out;
+}
+
+class OrderingInvarianceSweep : public ::testing::TestWithParam<OrderingAxis> {};
+
+TEST_P(OrderingInvarianceSweep, ChecksumAndIntervalVectorsInvariantAcrossBackends) {
+  const OrderingAxis& ax = GetParam();
+
+  net::NetConfig hub;  // single-hub reference
+  hub.transport = net::TransportKind::HubSwitch;
+  const ShardRunResult ref = run_ordering_workload(hub, ax);
+
+  // Host-side golden value: deterministic arithmetic.
+  std::vector<long> h(2048);
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = 5 * static_cast<long>(i) + 3;
+  long golden = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (auto& v : h) v = v % 1000003 + 11;
+    for (auto& v : h) v = v * 2 + 1;
+    golden = 0;
+    for (auto& v : h) golden += v;
+  }
+  ASSERT_EQ(ref.checksum, golden);
+
+  const auto check = [&](net::TransportKind kind, std::size_t shards, const char* what) {
+    net::NetConfig ncfg;
+    ncfg.transport = kind;
+    ncfg.hub_shards = shards;
+    const ShardRunResult got = run_ordering_workload(ncfg, ax);
+    EXPECT_EQ(got.checksum, ref.checksum) << what;
+    EXPECT_EQ(got.interval_vectors, ref.interval_vectors) << what;
+  };
+  check(net::TransportKind::ShardedHub, 1, "sharded S=1");
+  check(net::TransportKind::ShardedHub, 4, "sharded S=4");
+  check(net::TransportKind::TreeMulticast, 1, "event-driven tree");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModeByFlowByPolicy, OrderingInvarianceSweep,
+    ::testing::Values(
+        OrderingAxis{SeqMode::Replicated, rse::FlowControl::Chained,
+                     rse::policy::PolicyKind::Greedy},
+        OrderingAxis{SeqMode::Replicated, rse::FlowControl::Windowed,
+                     rse::policy::PolicyKind::Greedy},
+        OrderingAxis{SeqMode::Replicated, rse::FlowControl::None,
+                     rse::policy::PolicyKind::Greedy},
+        OrderingAxis{SeqMode::BroadcastAfter, rse::FlowControl::Chained,
+                     rse::policy::PolicyKind::Greedy},
+        OrderingAxis{SeqMode::Adaptive, rse::FlowControl::Chained,
+                     rse::policy::PolicyKind::Greedy},
+        OrderingAxis{SeqMode::Adaptive, rse::FlowControl::Windowed,
+                     rse::policy::PolicyKind::Hysteresis},
+        OrderingAxis{SeqMode::Adaptive, rse::FlowControl::None,
+                     rse::policy::PolicyKind::Static}),
+    [](const ::testing::TestParamInfo<OrderingAxis>& info) {
+      const OrderingAxis& ax = info.param;
+      std::string name = ax.mode == SeqMode::Replicated        ? "Replicated"
+                         : ax.mode == SeqMode::BroadcastAfter  ? "BroadcastAfter"
+                                                               : "Adaptive";
+      name += ax.flow == rse::FlowControl::Chained    ? "Chained"
+              : ax.flow == rse::FlowControl::Windowed ? "Windowed"
+                                                      : "NoFlow";
+      if (ax.mode == SeqMode::Adaptive) {
+        name += ax.policy == rse::policy::PolicyKind::Static   ? "Static"
+                : ax.policy == rse::policy::PolicyKind::Greedy ? "Greedy"
+                                                               : "Hysteresis";
+      }
       return name;
     });
 

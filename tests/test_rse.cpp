@@ -341,6 +341,46 @@ TEST(Rse, BroadcastAfterBackToBackSectionsWithoutParallelRegion) {
   EXPECT_EQ(w.cl->total(tmk::Phase::Parallel).page_faults, 0u);
 }
 
+TEST(Rse, BroadcastDoesNotClobberPagesWithOlderUnpulledNotices) {
+  // Regression: the eager BcastUpdate apply used to clobber newer data.
+  // Node 1 writes a block in a parallel region; nodes 2/3 never read it, so
+  // they still owe that page node 1's write notice when the master's next
+  // sequential section rewrites every element and broadcasts.  Applying the
+  // master's diff eagerly cleared only the master's notice; the later fault
+  // then pulled node 1's *older* diff on top of the master's values,
+  // resurrecting the pre-section data.  The broadcast must leave such pages
+  // invalid so the pull path applies both diffs causally.
+  World w(4, SeqMode::BroadcastAfter, FlowControl::Chained, [](World& ww) {
+    ww.cfg.page_bytes = 1024;
+  });
+  constexpr std::size_t kElems = 512;  // 4 pages of 128 longs
+  auto data = tmk::ShArray<long>::alloc(*w.cl, kElems, /*page_aligned=*/true);
+  std::vector<long> sums(4, -1);
+
+  w.cl->run([&](tmk::NodeRuntime&) {
+    // Block distribution: node 1 owns elements the others never touch.
+    w.team->parallel_for(0, kElems, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      data.store(static_cast<std::size_t>(i), i);
+    });
+    w.team->sequential([&](const Ctx&) {
+      for (std::size_t i = 0; i < kElems; ++i) data.store(i, data.load(i) + 1000);
+    });
+    // Cyclic distribution: every node reads elements from node 1's block.
+    w.team->parallel([&](const Ctx& ctx) {
+      long s = 0;
+      for (std::size_t i = static_cast<std::size_t>(ctx.tid); i < kElems;
+           i += static_cast<std::size_t>(ctx.nthreads)) {
+        s += data.load(i);
+      }
+      sums[ctx.tid] = s;
+    });
+  });
+
+  std::vector<long> host(4, 0);
+  for (std::size_t i = 0; i < kElems; ++i) host[i % 4] += static_cast<long>(i) + 1000;
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(sums[t], host[t]) << "thread " << t;
+}
+
 TEST(Rse, ReplicatedModeIsDeterministic) {
   auto run_once = [] {
     World w(4, SeqMode::Replicated);
