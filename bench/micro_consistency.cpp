@@ -43,7 +43,7 @@ void BM_IntervalLogInsertAndQuery(benchmark::State& state) {
     VectorClock vc(32);
     state.ResumeTiming();
     for (std::uint32_t i = 1; i <= 64; ++i) {
-      auto rec = std::make_shared<IntervalRecord>();
+      auto rec = repseq::util::make_pooled<IntervalRecord>();
       rec->owner = i % 32;
       rec->index = log.known(i % 32) + 1;
       rec->vc = VectorClock(32);

@@ -1,18 +1,24 @@
-// Micro-benchmarks (google-benchmark): twin/diff machinery -- creation,
-// run-length encoding size and application cost across modification
-// densities.  These operations sit on the critical path of every fault.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks: twin/diff machinery -- creation, application and wire
+// sizing across modification densities, plus the twin page copy.  These
+// operations sit on the critical path of every fault, so their per-op cost
+// and (post-pooling) allocation counts are tracked here; see
+// docs/ARCHITECTURE.md "Simulator performance" for recorded before/after
+// numbers.
 #include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "micro_runner.hpp"
 #include "sim/rng.hpp"
 #include "tmk/diff.hpp"
+#include "util/pool_ptr.hpp"
 
 namespace {
 
 using repseq::sim::Rng;
 using repseq::tmk::Diff;
+using namespace repseq::microbench;
 
 constexpr std::size_t kPage = 4096;
 
@@ -30,49 +36,57 @@ std::pair<std::vector<std::byte>, std::vector<std::byte>> make_pair_with_density
   return {std::move(twin), std::move(cur)};
 }
 
-void BM_DiffCreate(benchmark::State& state) {
-  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 42);
-  for (auto _ : state) {
+void bench_create(int pct) {
+  const auto [twin, cur] = make_pair_with_density(pct, 42);
+  const std::string name = "diff_create/density_" + std::to_string(pct);
+  bench(name.c_str(), [&twin = twin, &cur = cur] {
     Diff d = Diff::create(twin, cur);
-    benchmark::DoNotOptimize(d);
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
+    do_not_optimize(d);
+  });
 }
-BENCHMARK(BM_DiffCreate)->Arg(0)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
 
-void BM_DiffApply(benchmark::State& state) {
-  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 43);
+void bench_apply(int pct) {
+  const auto [twin, cur] = make_pair_with_density(pct, 43);
   const Diff d = Diff::create(twin, cur);
   std::vector<std::byte> target = twin;
-  for (auto _ : state) {
+  const std::string name = "diff_apply/density_" + std::to_string(pct);
+  bench(name.c_str(), [&] {
     d.apply(target);
-    benchmark::DoNotOptimize(target.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(4 * d.word_count() + 1));
+    do_not_optimize(target.data());
+  });
 }
-BENCHMARK(BM_DiffApply)->Arg(1)->Arg(10)->Arg(50)->Arg(100);
-
-void BM_DiffWireBytes(benchmark::State& state) {
-  const auto [twin, cur] = make_pair_with_density(static_cast<int>(state.range(0)), 44);
-  const Diff d = Diff::create(twin, cur);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(d.wire_bytes());
-  }
-}
-BENCHMARK(BM_DiffWireBytes)->Arg(10);
-
-void BM_TwinCopy(benchmark::State& state) {
-  std::vector<std::byte> page(kPage, std::byte{7});
-  std::vector<std::byte> twin(kPage);
-  for (auto _ : state) {
-    std::memcpy(twin.data(), page.data(), kPage);
-    benchmark::DoNotOptimize(twin.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kPage);
-}
-BENCHMARK(BM_TwinCopy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  print_header();
+  for (int pct : {0, 1, 10, 50, 100}) bench_create(pct);
+  for (int pct : {1, 10, 50, 100}) bench_apply(pct);
+
+  {
+    const auto [twin, cur] = make_pair_with_density(10, 44);
+    const Diff d = Diff::create(twin, cur);
+    bench("diff_wire_bytes", [&d] { do_not_optimize(d.wire_bytes()); });
+  }
+
+  {
+    std::vector<std::byte> page(kPage, std::byte{7});
+    std::vector<std::byte> twin(kPage);
+    bench("twin_copy_4k", [&] {
+      std::memcpy(twin.data(), page.data(), kPage);
+      do_not_optimize(twin.data());
+    });
+  }
+
+  {
+    // The pooled diff handle cycle: allocate a Diff in a pooled block, copy
+    // the handle (non-atomic count) and drop everything (block recycled).
+    const auto [twin, cur] = make_pair_with_density(10, 45);
+    bench("diff_pooled_handle_cycle", [&twin = twin, &cur = cur] {
+      repseq::tmk::DiffPtr p = repseq::util::make_pooled<Diff>(Diff::create(twin, cur));
+      repseq::tmk::DiffPtr q = p;
+      do_not_optimize(q);
+    });
+  }
+  return 0;
+}

@@ -1,63 +1,90 @@
-// Micro-benchmarks (google-benchmark): simulated network throughput --
-// host-side cost of pushing messages through the switch/hub models, which
-// bounds how fast the full-system simulations run.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks: simulated network throughput -- host-side cost of
+// pushing messages through the switch/hub models and of spinning up a
+// pooled-payload message, which bounds how fast the full-system simulations
+// run.  Reports ns per delivered message and allocator traffic per delivery
+// (the pooled payload path should amortize to ~0 allocations once the block
+// pool is warm); recorded numbers live in docs/ARCHITECTURE.md.
+#include <string>
+#include <utility>
 
+#include "micro_runner.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
+#include "util/pool_ptr.hpp"
 
 namespace {
 
 using namespace repseq;
+using namespace repseq::microbench;
 
-void BM_UnicastThroughSwitch(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Engine eng;
-    net::Network nw(eng, net::NetConfig{}, 4);
-    eng.spawn("rx", [&] {
-      for (int i = 0; i < 100; ++i) (void)nw.nic(1).inbox().pop();
-    });
-    eng.spawn("tx", [&] {
-      for (int i = 0; i < 100; ++i) {
-        net::Message m;
-        m.src = 0;
-        m.dst = 1;
-        m.payload_bytes = 1024;
-        nw.unicast(std::move(m));
-      }
-    });
-    eng.run();
-    benchmark::DoNotOptimize(nw.messages_sent());
-  }
-  state.SetItemsProcessed(state.iterations() * 100);
-}
-BENCHMARK(BM_UnicastThroughSwitch);
+constexpr int kUnicasts = 100;
+constexpr int kMulticasts = 20;
 
-void BM_MulticastThroughHub(benchmark::State& state) {
-  const auto nodes = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    sim::Engine eng;
-    net::Network nw(eng, net::NetConfig{}, nodes);
-    for (net::NodeId n = 1; n < nodes; ++n) {
-      eng.spawn("rx", [&nw, n] {
-        for (int i = 0; i < 20; ++i) (void)nw.nic(n).inbox().pop();
-      });
+void unicast_through_switch() {
+  sim::Engine eng;
+  net::Network nw(eng, net::NetConfig{}, 4);
+  eng.spawn("rx", [&] {
+    for (int i = 0; i < kUnicasts; ++i) (void)nw.nic(1).inbox().pop();
+  });
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < kUnicasts; ++i) {
+      net::Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.payload_bytes = 1024;
+      nw.unicast(std::move(m));
     }
-    eng.spawn("tx", [&] {
-      for (int i = 0; i < 20; ++i) {
-        net::Message m;
-        m.src = 0;
-        m.payload_bytes = 1024;
-        nw.multicast(std::move(m));
-      }
-    });
-    eng.run();
-    benchmark::DoNotOptimize(nw.deliveries());
-  }
-  state.SetItemsProcessed(state.iterations() * 20 * static_cast<std::int64_t>(nodes - 1));
+  });
+  eng.run();
+  do_not_optimize(nw.messages_sent());
 }
-BENCHMARK(BM_MulticastThroughHub)->Arg(4)->Arg(16)->Arg(32);
+
+void multicast_through_hub(std::size_t nodes) {
+  sim::Engine eng;
+  net::Network nw(eng, net::NetConfig{}, nodes);
+  for (net::NodeId n = 1; n < nodes; ++n) {
+    eng.spawn("rx", [&nw, n] {
+      for (int i = 0; i < kMulticasts; ++i) (void)nw.nic(n).inbox().pop();
+    });
+  }
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < kMulticasts; ++i) {
+      net::Message m;
+      m.src = 0;
+      m.payload_bytes = 1024;
+      // A real payload handle, so the bench exercises the per-receiver
+      // refcount traffic the pool exists to make cheap.
+      m.payload = util::make_pooled<int>(i);
+      nw.multicast(std::move(m));
+    }
+  });
+  eng.run();
+  do_not_optimize(nw.deliveries());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  print_header();
+
+  // ns/op here is per *delivered message*, not per engine run: each run
+  // performs a fixed message count, so divide out the batch.
+  bench("unicast_switch/per_run_100msg", [] { unicast_through_switch(); });
+
+  for (std::size_t nodes : {4, 16, 32, 64}) {
+    const std::string name = "multicast_hub/nodes_" + std::to_string(nodes) + "/per_run_" +
+                             std::to_string(kMulticasts) + "msg";
+    bench(name.c_str(), [nodes] { multicast_through_hub(nodes); });
+  }
+
+  {
+    // Pooled payload handle churn in isolation: make, copy (plain counter
+    // bump -- this is what every multicast receiver pays), drop.
+    bench("pooled_payload_cycle", [] {
+      util::PoolPtr<const void> p = util::make_pooled<int>(7);
+      util::PoolPtr<const void> q = p;
+      do_not_optimize(q);
+    });
+  }
+  return 0;
+}

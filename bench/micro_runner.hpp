@@ -1,0 +1,92 @@
+// Minimal micro-benchmark runner: ns/op, ops/s, MB/s and allocator traffic
+// per operation, with no external benchmark-library dependency.
+//
+// Include from exactly ONE translation unit per binary: this header defines
+// the global operator new/delete replacements that feed the allocation
+// counters (definitions, not declarations, so two includes in one binary
+// would violate the one-definition rule).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+namespace repseq::microbench {
+
+inline std::uint64_t g_allocs = 0;
+inline std::uint64_t g_alloc_bytes = 0;
+
+}  // namespace repseq::microbench
+
+void* operator new(std::size_t n) {
+  ++repseq::microbench::g_allocs;
+  repseq::microbench::g_alloc_bytes += n;
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  ++repseq::microbench::g_allocs;
+  repseq::microbench::g_alloc_bytes += n;
+  const std::size_t a = static_cast<std::size_t>(al);
+  void* p = std::aligned_alloc(a, (n + a - 1) & ~(a - 1));
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+void* operator new[](std::size_t n, std::align_val_t al) { return ::operator new(n, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace repseq::microbench {
+
+/// Prevents the optimizer from discarding a computed value.
+template <typename T>
+inline void do_not_optimize(const T& v) {
+  asm volatile("" : : "g"(&v) : "memory");
+}
+
+inline void print_header() {
+  std::printf("%-36s %12s %14s %12s %14s\n", "benchmark", "ns/op", "ops/s", "allocs/op",
+              "alloc B/op");
+}
+
+/// Runs `fn` (one operation per call) until ~0.2 s of measured time after a
+/// warmup pass, then reports per-op cost and allocator traffic.
+template <typename F>
+void bench(const char* name, F&& fn) {
+  using clock = std::chrono::steady_clock;
+  // Warmup + calibration: find an iteration count worth ~200 ms.
+  std::uint64_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    const double s = std::chrono::duration<double>(clock::now() - t0).count();
+    if (s >= 0.05 || iters >= (1ull << 30)) {
+      iters = s > 0 ? static_cast<std::uint64_t>(static_cast<double>(iters) * 0.2 / s) + 1 : iters;
+      break;
+    }
+    iters *= 4;
+  }
+  const std::uint64_t a0 = g_allocs;
+  const std::uint64_t b0 = g_alloc_bytes;
+  const auto t0 = clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) fn();
+  const double s = std::chrono::duration<double>(clock::now() - t0).count();
+  const double ns_per_op = s * 1e9 / static_cast<double>(iters);
+  const double allocs_per_op = static_cast<double>(g_allocs - a0) / static_cast<double>(iters);
+  const double bytes_per_op =
+      static_cast<double>(g_alloc_bytes - b0) / static_cast<double>(iters);
+  std::printf("%-36s %12.1f %14.0f %12.2f %14.1f\n", name, ns_per_op,
+              static_cast<double>(iters) / s, allocs_per_op, bytes_per_op);
+}
+
+}  // namespace repseq::microbench

@@ -34,6 +34,7 @@ namespace {
 struct Sample {
   double avg_ms;
   double max_ms;
+  double busy_max_s;  // busiest multicast-medium shard's transmit time
   std::array<std::uint64_t, rse::policy::kStrategyCount> by_strategy{};
 };
 
@@ -41,6 +42,12 @@ Sample probe(std::size_t nodes, ompnow::SeqMode mode, const net::NetConfig& ncfg
              const rse::policy::PolicyConfig& pcfg) {
   tmk::TmkConfig cfg;
   cfg.heap_bytes = 8u << 20;
+  // One diff server fields O(N) queued requests for a hot page; the
+  // retransmit timeout must cover that backlog at large N (same scaling as
+  // bench/perf_sim).
+  if (nodes > 256) {
+    cfg.request_timeout = sim::milliseconds(static_cast<std::int64_t>(nodes));
+  }
   tmk::Cluster cl(cfg, ncfg, nodes);
   rse::RseController rse(cl, rse::FlowControl::Chained);
   std::unique_ptr<rse::policy::PolicyEngine> policy;
@@ -73,9 +80,27 @@ Sample probe(std::size_t nodes, ompnow::SeqMode mode, const net::NetConfig& ncfg
   for (net::NodeId n = 0; n < nodes; ++n) {
     acc.merge(cl.node(n).stats().par.response_ms);
   }
-  Sample s{acc.mean(), acc.max(), {}};
+  double busy_max_s = 0;
+  for (const tmk::HubOccupancy& o : cl.hub_occupancy()) {
+    busy_max_s = std::max(busy_max_s, o.busy.seconds());
+  }
+  Sample s{acc.mean(), acc.max(), busy_max_s, {}};
   if (policy) s.by_strategy = policy->strategy_counts();
   return s;
+}
+
+/// REPSEQ_NODES caps the sweep (default full sweep to 1024 nodes) so CI can
+/// bound the run's budget, mirroring the bench harnesses.
+std::size_t nodes_cap() {
+  const char* s = std::getenv("REPSEQ_NODES");
+  if (s == nullptr || *s == '\0') return 1024;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || v < 2) {
+    std::fprintf(stderr, "error: REPSEQ_NODES='%s' is not a node count >= 2\n", s);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(v);
 }
 
 int usage(const char* argv0) {
@@ -166,15 +191,19 @@ int main(int argc, char** argv) {
     std::printf("   policy: %s", rse::policy::policy_name(pcfg.kind));
   }
   std::printf("\n\n");
-  std::printf("%6s | %-28s | %-28s\n", "nodes", "base avg/max response (ms)", right_label);
-  std::printf("-------+------------------------------+-----------------------------\n");
-  for (std::size_t nodes : {2, 4, 8, 16, 24, 32}) {
+  const std::size_t cap = nodes_cap();
+  std::printf("%6s | %-28s | %-28s | %s\n", "nodes", "base avg/max response (ms)", right_label,
+              "hub busy max (ms)");
+  std::printf("-------+------------------------------+------------------------------+"
+              "----------------\n");
+  for (std::size_t nodes : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
+    if (nodes > cap) break;
     const Sample base = probe(nodes, ompnow::SeqMode::MasterOnly, ncfg, pcfg);
     const Sample opt = probe(nodes, mode, ncfg, pcfg);
     const int bar = std::min(24, static_cast<int>(base.avg_ms * 4.0));
-    std::printf("%6zu | %6.2f / %-7.2f %-12s | %6.2f / %.2f", nodes, base.avg_ms, base.max_ms,
-                std::string(static_cast<std::size_t>(bar), '#').c_str(), opt.avg_ms,
-                opt.max_ms);
+    std::printf("%6zu | %6.2f / %-7.2f %-12s | %6.2f / %-12.2f | %12.4f", nodes, base.avg_ms,
+                base.max_ms, std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                opt.avg_ms, opt.max_ms, opt.busy_max_s * 1e3);
     if (adaptive) {
       std::printf("   [m/r/b %llu/%llu/%llu]",
                   static_cast<unsigned long long>(opt.by_strategy[0]),

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Perf regression gate for the simulator's pinned sweep (bench/perf_sim).
+
+Compares the events/sec of each (app, nodes) run in a freshly produced
+BENCH_sim.json against the committed baseline and fails if any run regressed
+by more than the tolerance (default 25%, matching the CI contract).  Runs
+present in only one file are ignored, so a REPSEQ_NODES-capped CI sweep can
+be checked against a full-sweep baseline.
+
+Usage:  check_perf_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+
+The baseline is machine-dependent: refresh bench/BENCH_sim_baseline.json
+(commit the new file) whenever the CI runner class changes or an intentional
+engine change moves the numbers.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(r["app"], r["nodes"]): r for r in doc.get("runs", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional events/sec drop (default 0.25)")
+    args = ap.parse_args()
+
+    current = load_runs(args.current)
+    baseline = load_runs(args.baseline)
+    shared = sorted(set(current) & set(baseline))
+    if not shared:
+        print("error: no (app, nodes) runs in common between "
+              f"{args.current} and {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for key in shared:
+        cur = current[key]["events_per_sec"]
+        base = baseline[key]["events_per_sec"]
+        if base <= 0:
+            continue
+        ratio = cur / base
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSED"
+            failures.append(key)
+        print(f"{key[0]:>12} n={key[1]:<5} {cur:>14.0f} ev/s "
+              f"(baseline {base:.0f}, {ratio:5.2f}x)  {status}")
+
+    # Correctness cross-check rides along for free: pinned runs must
+    # reproduce the baseline's checksums exactly, whatever the speed.
+    for key in shared:
+        if abs(current[key]["checksum"] - baseline[key]["checksum"]) > 1e-6:
+            print(f"error: checksum changed for {key}: "
+                  f"{current[key]['checksum']} != {baseline[key]['checksum']}",
+                  file=sys.stderr)
+            failures.append(key)
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} run(s) regressed more than "
+              f"{args.tolerance:.0%} (or changed results)", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(shared)} run(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "apps/harness/run_modes.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "ompnow/team.hpp"
@@ -75,6 +76,7 @@ struct Bench {
   std::unique_ptr<rse::policy::PolicyEngine> policy;
   std::unique_ptr<ompnow::Team> team;
   std::size_t nodes;
+  double host_wall_s = 0;
 
   explicit Bench(const RunOptions& opt)
       : nodes(opt.mode == Mode::Sequential ? 1 : opt.nodes) {
@@ -99,6 +101,9 @@ struct Bench {
     r.par_s = par_s;
     r.checksum = checksum;
     r.aux = aux;
+    r.sim_events = cluster->engine().events_executed();
+    r.peak_live_events = cluster->engine().peak_live_events();
+    r.host_wall_s = host_wall_s;
 
     const tmk::PhaseCounters seq = cluster->total(tmk::Phase::Sequential);
     const tmk::PhaseCounters par = cluster->total(tmk::Phase::Parallel);
@@ -158,10 +163,12 @@ RunReport run_barnes_hut(const RunOptions& opt, const bh::BhConfig& cfg) {
   Bench b(opt);
   bh::BhWorld world = bh::setup_world(*b.cluster, cfg);
   bh::BhResult res;
+  const auto h0 = std::chrono::steady_clock::now();
   b.cluster->run([&](tmk::NodeRuntime&) {
     bh::init_bodies(world, cfg);
     res = bh::run_steps(*b.cluster, *b.team, world, cfg);
   });
+  b.host_wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - h0).count();
   return b.report(opt, res.total_time.seconds(), res.seq_time.seconds(),
                   res.par_time.seconds(), res.checksum, res.interactions);
 }
@@ -170,9 +177,11 @@ RunReport run_ilink(const RunOptions& opt, const ilink::IlinkConfig& cfg) {
   Bench b(opt);
   ilink::IlinkWorld world = ilink::setup_world(*b.cluster, cfg);
   ilink::IlinkResult res;
+  const auto h0 = std::chrono::steady_clock::now();
   b.cluster->run([&](tmk::NodeRuntime&) {
     res = ilink::run_program(*b.cluster, *b.team, world, cfg);
   });
+  b.host_wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - h0).count();
   return b.report(opt, res.total_time.seconds(), res.seq_time.seconds(),
                   res.par_time.seconds(), res.likelihood,
                   res.parallel_updates + res.serial_updates);

@@ -93,6 +93,15 @@ struct RunReport {
 
   double checksum = 0;  // application result for cross-mode verification
   std::uint64_t aux = 0;
+
+  // Host-side performance telemetry (the simulator's own speed, not the
+  // simulated cluster's): total events the engine executed, the high-water
+  // mark of simultaneously scheduled events, and the host wall-clock the
+  // run took.  events/sec = sim_events / host_wall_s is the headline number
+  // tracked by bench/perf_sim.
+  std::uint64_t sim_events = 0;
+  std::size_t peak_live_events = 0;
+  double host_wall_s = 0;
 };
 
 RunReport run_barnes_hut(const RunOptions& opt, const bh::BhConfig& cfg);

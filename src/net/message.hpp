@@ -6,7 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+
+#include "util/pool_ptr.hpp"
 
 namespace repseq::net {
 
@@ -27,8 +28,10 @@ struct Message {
   std::uint64_t mcast_group = 0;
   /// Payload bytes as they would appear on the wire (excluding headers).
   std::size_t payload_bytes = 0;
-  /// The typed payload, cast back by the protocol layer.
-  std::shared_ptr<const void> payload{};
+  /// The typed payload, cast back by the protocol layer.  Pool-backed and
+  /// non-atomically counted: multicast delivery copies this handle once per
+  /// receiver, which must not be a locked RMW storm at 1024 nodes.
+  util::PoolPtr<const void> payload{};
   /// Unique per-simulation id (assigned by Network::send) for tracing.
   std::uint64_t id = 0;
 

@@ -118,7 +118,7 @@ std::uint64_t Network::multicast(Message msg, McastAccount account) {
     bool collecting = true;
     std::vector<std::pair<sim::SimTime, NodeId>> sched;
   };
-  auto b = std::make_shared<Burst>(
+  auto b = util::make_pooled<Burst>(
       Burst{this, std::move(msg), wire, sent, std::move(account), /*collecting=*/true, {}});
 
   transport_->multicast(

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/pool_ptr.hpp"
+
 namespace repseq::net {
 
 struct TreeMulticastTransport::Flight {
@@ -26,11 +28,11 @@ void TreeMulticastTransport::multicast(const Message& msg, std::size_t wire_byte
   // The callbacks outlive this call: interior hops run as scheduled events
   // at their parents' arrival instants, so the flight state is shared by
   // (and kept alive through) every pending forwarding event.
-  auto fl = std::make_shared<const Flight>(Flight{msg.src, n, k, wire_bytes, deliver, account});
+  auto fl = util::make_pooled<Flight>(Flight{msg.src, n, k, wire_bytes, deliver, account});
   forward_children(fl, 0);
 }
 
-void TreeMulticastTransport::forward_children(const std::shared_ptr<const Flight>& fl,
+void TreeMulticastTransport::forward_children(const util::PoolPtr<const Flight>& fl,
                                               std::size_t pos) {
   // The node at `pos` holds the complete frame as of now (the root at send
   // time, an interior node at its arrival event), so its child transmissions

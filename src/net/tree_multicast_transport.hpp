@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "net/transport.hpp"
+#include "util/pool_ptr.hpp"
 
 namespace repseq::net {
 
@@ -57,7 +58,7 @@ class TreeMulticastTransport final : public SwitchedTransport {
   /// Transmits the frame from tree position `pos` (whose node holds a
   /// complete copy as of the current virtual instant) to each of its
   /// children, scheduling each child's own forwarding at its arrival.
-  void forward_children(const std::shared_ptr<const Flight>& fl, std::size_t pos);
+  void forward_children(const util::PoolPtr<const Flight>& fl, std::size_t pos);
 
   sim::SimDuration busy_total_{};
 };

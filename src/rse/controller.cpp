@@ -303,9 +303,7 @@ void RseController::chain_begin_chained(tmk::NodeRuntime& rt, const tmk::McastDi
   for (net::NodeId s : replay) {
     chain_observe(rt, shard, s, on_server);
   }
-  if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
-    master_round_finished(rt, shard, on_server);
-  }
+  chain_maybe_finish(rt, shard, on_server);
 }
 
 void RseController::begin_concurrent(tmk::NodeRuntime& rt, const tmk::McastDiffRequestP& req,
@@ -366,7 +364,20 @@ void RseController::chain_observe(tmk::NodeRuntime& rt, std::size_t shard, net::
   while (st.next_sender == rt.id()) {
     chain_send_own(rt, shard, on_server);
   }
-  if (rt.is_master() && st.next_sender >= cluster_.node_count()) {
+  chain_maybe_finish(rt, shard, on_server);
+}
+
+void RseController::chain_maybe_finish(tmk::NodeRuntime& rt, std::size_t shard, bool on_server) {
+  if (!rt.is_master()) return;
+  const RoundState& st = round_state(rt, shard);
+  if (st.next_sender < cluster_.node_count()) return;
+  // The chain completing is only this round's completion if the master
+  // still has it in flight: the watchdog may have abandoned it (and moved
+  // on to a successor round, or gone idle) while its late frames were still
+  // trickling in -- their diffs apply, but they must not finish someone
+  // else's round.
+  const MasterShard& ms = master_shard(shard);
+  if (ms.round_in_flight && ms.active_round == st.round) {
     master_round_finished(rt, shard, on_server);
   }
 }

@@ -149,6 +149,10 @@ class RseController final : public tmk::RseHooks {
   /// Advances the shard's ack chain after `sender`'s frame was observed.
   void chain_observe(tmk::NodeRuntime& rt, std::size_t shard, net::NodeId sender,
                      bool on_server);
+  /// Finishes the master's round when the chain has walked every node AND
+  /// the round is still the one in flight (a watchdog-abandoned round's
+  /// late-completing chain must not finish its successor).
+  void chain_maybe_finish(tmk::NodeRuntime& rt, std::size_t shard, bool on_server);
   /// Sends this node's frame (diffs or null ack) for the shard's round.
   void send_own_frame(tmk::NodeRuntime& rt, std::size_t shard, bool on_server);
   /// send_own_frame at this node's chain turn; advances the turn counter.

@@ -33,24 +33,14 @@ void Engine::run() {
   running_ = true;
   drain_runnable();
   while (!events_.empty()) {
-    auto e = events_.pop();
-    REPSEQ_CHECK(e->time >= now_, "event scheduled in the past");
-    now_ = e->time;
+    EventQueue::Popped e = events_.pop();
+    REPSEQ_CHECK(e.time >= now_, "event scheduled in the past");
+    now_ = e.time;
     ++events_executed_;
-    e->fn();
+    e.fn();
     drain_runnable();
   }
   running_ = false;
-}
-
-EventQueue::Handle Engine::schedule_in(SimDuration delay, EventQueue::Callback fn) {
-  REPSEQ_CHECK(delay.ns >= 0, "negative delay");
-  return events_.schedule(now_ + delay, std::move(fn));
-}
-
-EventQueue::Handle Engine::schedule_at(SimTime t, EventQueue::Callback fn) {
-  REPSEQ_CHECK(t >= now_, "cannot schedule in the past");
-  return events_.schedule(t, std::move(fn));
 }
 
 void Engine::sleep_for(SimDuration d) {

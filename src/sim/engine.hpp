@@ -21,6 +21,7 @@
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fiber.hpp"
+#include "util/check.hpp"
 
 namespace repseq::sim {
 
@@ -46,10 +47,19 @@ class Engine {
   void run();
 
   /// Schedules a callback `delay` from now.  May be called from fibers or
-  /// from event callbacks.
-  EventQueue::Handle schedule_in(SimDuration delay, EventQueue::Callback fn);
-  EventQueue::Handle schedule_at(SimTime t, EventQueue::Callback fn);
-  void cancel(const EventQueue::Handle& h) { events_.cancel(h); }
+  /// from event callbacks.  Templated so the closure is constructed
+  /// directly in its pooled event slot (see EventQueue::schedule).
+  template <typename F>
+  EventQueue::Handle schedule_in(SimDuration delay, F&& fn) {
+    REPSEQ_CHECK(delay.ns >= 0, "negative delay");
+    return events_.schedule(now_ + delay, std::forward<F>(fn));
+  }
+  template <typename F>
+  EventQueue::Handle schedule_at(SimTime t, F&& fn) {
+    REPSEQ_CHECK(t >= now_, "cannot schedule in the past");
+    return events_.schedule(t, std::forward<F>(fn));
+  }
+  void cancel(EventQueue::Handle h) { events_.cancel(h); }
 
   // ---- fiber-side primitives (must be called from inside a fiber) ----
 
@@ -68,6 +78,9 @@ class Engine {
 
   /// Total events executed; a cheap progress / determinism probe.
   [[nodiscard]] std::uint64_t events_executed() const { return events_executed_; }
+
+  /// High-water mark of simultaneously live events (perf telemetry).
+  [[nodiscard]] std::size_t peak_live_events() const { return events_.peak_live(); }
 
  private:
   void make_runnable(FiberRef f);

@@ -1,26 +1,96 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
 #include "util/check.hpp"
 
 namespace repseq::sim {
 
-EventQueue::Handle EventQueue::schedule(SimTime t, Callback fn) {
-  auto e = std::make_shared<Entry>(Entry{t, next_seq_++, std::move(fn), false});
-  heap_.push(e);
-  ++live_;
-  return e;
+namespace {
+std::size_t arity_from_env() {
+  const char* v = std::getenv("REPSEQ_EVENTQ");
+  if (v == nullptr) return 4;
+  const std::string s(v);
+  if (s == "quad") return 4;
+  if (s == "binary") return 2;
+  REPSEQ_CHECK(false, "unknown REPSEQ_EVENTQ '" + s + "' (accepted: binary|quad)");
+  return 4;
+}
+}  // namespace
+
+EventQueue::EventQueue() : EventQueue(arity_from_env()) {}
+
+EventQueue::EventQueue(std::size_t arity) : arity_(arity) {
+  REPSEQ_CHECK(arity_ == 2 || arity_ == 4, "event queue arity must be 2 or 4");
 }
 
-void EventQueue::cancel(const Handle& h) {
-  if (h && !h->cancelled) {
-    h->cancelled = true;
-    --live_;
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNil) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
   }
+  REPSEQ_CHECK(slots_.size() < kNil, "event slot space exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.gen;  // kills every outstanding handle and heap record for this slot
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventQueue::cancel(Handle h) {
+  if (h.slot == kNil || h.slot >= slots_.size() || slots_[h.slot].gen != h.gen) {
+    return;  // never scheduled, already ran, already cancelled, or recycled
+  }
+  release_slot(h.slot);
+  --live_;
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  Item it = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / arity_;
+    if (!it.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = it;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  Item it = heap_[i];
+  while (true) {
+    const std::size_t first = arity_ * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + arity_, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(it)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = it;
+}
+
+void EventQueue::heap_pop_top() const {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    heap_.pop();
+  while (!heap_.empty() && item_dead(heap_[0])) {
+    heap_pop_top();
   }
 }
 
@@ -32,16 +102,18 @@ bool EventQueue::empty() const {
 SimTime EventQueue::next_time() const {
   drop_cancelled();
   REPSEQ_CHECK(!heap_.empty(), "next_time() on empty event queue");
-  return heap_.top()->time;
+  return heap_[0].time;
 }
 
-EventQueue::Handle EventQueue::pop() {
+EventQueue::Popped EventQueue::pop() {
   drop_cancelled();
   REPSEQ_CHECK(!heap_.empty(), "pop() on empty event queue");
-  Handle e = heap_.top();
-  heap_.pop();
+  const Item top = heap_[0];
+  Popped out{top.time, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
+  heap_pop_top();
   --live_;
-  return e;
+  return out;
 }
 
 }  // namespace repseq::sim

@@ -1,18 +1,121 @@
 #include "sim/fiber.hpp"
 
+#include <cstdint>
+
 #include "util/check.hpp"
 
 namespace repseq::sim {
 
 namespace {
-// The fiber being switched into; set immediately before swapcontext so the
-// trampoline can find its Fiber object.  Single-threaded by design.
+// The fiber being switched into; set immediately before the context switch
+// so the trampoline can find its Fiber object.  Single-threaded by design.
 thread_local Fiber* g_current = nullptr;
+#if !REPSEQ_FIBER_FAST_SWITCH
 thread_local Fiber* g_trampoline_arg = nullptr;
+#endif
 }  // namespace
 
+#if REPSEQ_FIBER_FAST_SWITCH
+
+void fiber_trampoline(Fiber* self);
+
+// repseq_ctx_swap(void** save_sp, void* to_sp): pushes the SysV callee-saved
+// registers plus the FPU/SSE control words onto the current stack, parks the
+// resulting stack pointer in *save_sp, switches to to_sp and unwinds the
+// same frame there.  Everything caller-saved is dead across the call by the
+// ABI, so this is a complete context switch -- without the two
+// rt_sigprocmask syscalls swapcontext performs.
+//
+// repseq_ctx_entry is the ret target of a freshly initialized frame: it
+// moves the Fiber* (planted in the r12 slot) into the argument register,
+// realigns the stack and enters the C++ trampoline, which never returns.
+asm(R"(
+.text
+.globl repseq_ctx_swap
+.type repseq_ctx_swap,@function
+.align 16
+repseq_ctx_swap:
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    subq  $8, %rsp
+    stmxcsr 4(%rsp)
+    fnstcw  (%rsp)
+    movq  %rsp, (%rdi)
+    movq  %rsi, %rsp
+    fldcw   (%rsp)
+    ldmxcsr 4(%rsp)
+    addq  $8, %rsp
+    popq  %r15
+    popq  %r14
+    popq  %r13
+    popq  %r12
+    popq  %rbx
+    popq  %rbp
+    retq
+.size repseq_ctx_swap,.-repseq_ctx_swap
+
+.globl repseq_ctx_entry
+.type repseq_ctx_entry,@function
+.align 16
+repseq_ctx_entry:
+    movq  %r12, %rdi
+    andq  $-16, %rsp
+    callq repseq_fiber_trampoline
+    ud2
+.size repseq_ctx_entry,.-repseq_ctx_entry
+)");
+
+extern "C" {
+void repseq_ctx_swap(void** save_sp, void* to_sp);
+void repseq_ctx_entry();
+
+void repseq_fiber_trampoline(repseq::sim::Fiber* self) { fiber_trampoline(self); }
+}
+
+void fiber_trampoline(Fiber* self) {
+  try {
+    self->fn_();
+  } catch (...) {
+    self->failure_ = std::current_exception();
+  }
+  self->finished_ = true;
+  // Final switch back to the engine; this frame is abandoned.
+  void* dead = nullptr;
+  repseq_ctx_swap(&dead, self->return_sp_);
+  REPSEQ_CHECK(false, "finished fiber resumed");
+}
+
+void Fiber::init_context() {
+  // Frame layout consumed by repseq_ctx_swap's restore path, from the
+  // switch stack pointer upward: [fcw|mxcsr] r15 r14 r13 r12 rbx rbp ret.
+  auto top =
+      reinterpret_cast<std::uintptr_t>(stack_.get() + stack_bytes_) & ~std::uintptr_t{15};
+  auto* frame = reinterpret_cast<std::uintptr_t*>(top) - 8;
+  std::uint32_t mxcsr;
+  std::uint16_t fcw;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  frame[0] = static_cast<std::uintptr_t>(fcw) | (static_cast<std::uintptr_t>(mxcsr) << 32);
+  frame[1] = 0;                                      // r15
+  frame[2] = 0;                                      // r14
+  frame[3] = 0;                                      // r13
+  frame[4] = reinterpret_cast<std::uintptr_t>(this); // r12 -> trampoline argument
+  frame[5] = 0;                                      // rbx
+  frame[6] = 0;                                      // rbp
+  frame[7] = reinterpret_cast<std::uintptr_t>(&repseq_ctx_entry);
+  switch_sp_ = frame;
+}
+
+#endif  // REPSEQ_FIBER_FAST_SWITCH
+
 Fiber::Fiber(std::string name, Fn fn, std::size_t stack_bytes)
-    : name_(std::move(name)), fn_(std::move(fn)), stack_(stack_bytes) {
+    : name_(std::move(name)),
+      fn_(std::move(fn)),
+      stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes) {
   REPSEQ_CHECK(fn_ != nullptr, "fiber requires a body");
 }
 
@@ -22,6 +125,30 @@ Fiber::~Fiber() {
 }
 
 Fiber* Fiber::current() { return g_current; }
+
+#if REPSEQ_FIBER_FAST_SWITCH
+
+void Fiber::resume() {
+  REPSEQ_CHECK(g_current == nullptr, "resume() must be called from the engine context");
+  REPSEQ_CHECK(!finished_, "cannot resume a finished fiber: " + name_);
+  if (!started_) {
+    started_ = true;
+    init_context();
+  }
+  g_current = this;
+  repseq_ctx_swap(&return_sp_, switch_sp_);
+  g_current = nullptr;
+}
+
+void Fiber::yield() {
+  Fiber* self = g_current;
+  REPSEQ_CHECK(self != nullptr, "yield() must be called from inside a fiber");
+  g_current = nullptr;
+  repseq_ctx_swap(&self->switch_sp_, self->return_sp_);
+  g_current = self;
+}
+
+#else  // !REPSEQ_FIBER_FAST_SWITCH
 
 void Fiber::trampoline() {
   Fiber* self = g_trampoline_arg;
@@ -41,8 +168,8 @@ void Fiber::resume() {
   if (!started_) {
     started_ = true;
     REPSEQ_CHECK(getcontext(&context_) == 0, "getcontext failed");
-    context_.uc_stack.ss_sp = stack_.data();
-    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_bytes_;
     context_.uc_link = &return_context_;
     g_trampoline_arg = this;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
@@ -59,6 +186,8 @@ void Fiber::yield() {
   REPSEQ_CHECK(swapcontext(&self->context_, &self->return_context_) == 0, "swapcontext failed");
   g_current = self;
 }
+
+#endif  // REPSEQ_FIBER_FAST_SWITCH
 
 void Fiber::rethrow_if_failed() {
   if (failure_) {

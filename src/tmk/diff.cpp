@@ -6,48 +6,65 @@
 
 namespace repseq::tmk {
 
+namespace {
+inline std::uint32_t word_at(std::span<const std::byte> page, std::size_t w) {
+  std::uint32_t v;
+  std::memcpy(&v, page.data() + 4 * w, 4);
+  return v;
+}
+}  // namespace
+
 Diff Diff::create(std::span<const std::byte> twin, std::span<const std::byte> current) {
   REPSEQ_CHECK(twin.size() == current.size(), "twin/page size mismatch");
   REPSEQ_CHECK(twin.size() % 4 == 0, "page size must be a multiple of 4");
   const std::size_t words = twin.size() / 4;
 
+  // Counting pre-pass: word comparisons are cheap relative to allocator
+  // traffic, so scanning twice buys exact-size buffers (no growth
+  // reallocations, no per-run vectors).
+  std::size_t n_runs = 0;
+  std::size_t n_words = 0;
+  bool in_run = false;
+  for (std::size_t w = 0; w < words; ++w) {
+    if (word_at(twin, w) != word_at(current, w)) {
+      if (!in_run) {
+        ++n_runs;
+        in_run = true;
+      }
+      ++n_words;
+    } else {
+      in_run = false;
+    }
+  }
+
   Diff d;
+  if (n_runs == 0) return d;
+  d.headers_.reserve(n_runs);
+  d.words_.reserve(n_words);
+
   std::size_t w = 0;
   while (w < words) {
-    // Skip unchanged words.
-    while (w < words && std::memcmp(twin.data() + 4 * w, current.data() + 4 * w, 4) == 0) {
-      ++w;
-    }
+    while (w < words && word_at(twin, w) == word_at(current, w)) ++w;
     if (w >= words) break;
-    Run run;
-    run.word_index = static_cast<std::uint32_t>(w);
-    while (w < words && std::memcmp(twin.data() + 4 * w, current.data() + 4 * w, 4) != 0) {
-      std::uint32_t v;
-      std::memcpy(&v, current.data() + 4 * w, 4);
-      run.values.push_back(v);
+    RunHeader h;
+    h.word_index = static_cast<std::uint32_t>(w);
+    h.begin = static_cast<std::uint32_t>(d.words_.size());
+    while (w < words && word_at(twin, w) != word_at(current, w)) {
+      d.words_.push_back(word_at(current, w));
       ++w;
     }
-    d.runs_.push_back(std::move(run));
+    h.length = static_cast<std::uint32_t>(d.words_.size()) - h.begin;
+    d.headers_.push_back(h);
   }
   return d;
 }
 
 void Diff::apply(std::span<std::byte> page) const {
-  for (const Run& r : runs_) {
-    REPSEQ_CHECK((r.word_index + r.values.size()) * 4 <= page.size(), "diff run out of range");
-    std::memcpy(page.data() + 4 * r.word_index, r.values.data(), 4 * r.values.size());
+  for (const RunHeader& h : headers_) {
+    REPSEQ_CHECK((h.word_index + h.length) * std::size_t{4} <= page.size(),
+                 "diff run out of range");
+    std::memcpy(page.data() + 4 * h.word_index, words_.data() + h.begin, 4 * std::size_t{h.length});
   }
-}
-
-std::size_t Diff::word_count() const {
-  std::size_t n = 0;
-  for (const Run& r : runs_) n += r.values.size();
-  return n;
-}
-
-std::size_t Diff::wire_bytes() const {
-  // 12-byte header (page id, owner, interval) + 8 bytes per run + payload.
-  return 12 + 8 * runs_.size() + 4 * word_count();
 }
 
 }  // namespace repseq::tmk

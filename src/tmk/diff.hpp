@@ -5,22 +5,59 @@
 // (paper Section 2.2.2).  Applying a diff overwrites exactly those words,
 // which is what lets concurrent writers to disjoint parts of a page merge
 // without false-sharing ping-pong.
+//
+// Storage is contiguous: one vector of fixed-size run headers plus one
+// vector holding every carried word, sized exactly in a counting pre-pass.
+// The previous vector-of-vectors layout paid one heap allocation (plus
+// growth reallocations) per run; diff creation sits on the fault-service
+// hot path, so at 256+ nodes that was a measurable slice of the run.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
+
+#include "util/pool_ptr.hpp"
 
 namespace repseq::tmk {
 
 class Diff {
  public:
-  /// One run of modified 32-bit words.
-  struct Run {
-    std::uint32_t word_index;            // offset within the page, in words
-    std::vector<std::uint32_t> values;   // new values
+  /// One run of modified 32-bit words, viewed in place (`values` aliases
+  /// the diff's contiguous word buffer -- valid while the Diff lives).
+  struct RunView {
+    std::uint32_t word_index;               // offset within the page, in words
+    std::span<const std::uint32_t> values;  // new values
+  };
+
+  /// Indexable, iterable view over the runs.
+  class RunRange {
+   public:
+    class iterator {
+     public:
+      iterator(const Diff* d, std::size_t i) : d_(d), i_(i) {}
+      RunView operator*() const { return d_->run(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      [[nodiscard]] bool operator!=(const iterator& o) const { return i_ != o.i_; }
+
+     private:
+      const Diff* d_;
+      std::size_t i_;
+    };
+
+    explicit RunRange(const Diff* d) : d_(d) {}
+    [[nodiscard]] std::size_t size() const { return d_->headers_.size(); }
+    [[nodiscard]] bool empty() const { return d_->headers_.empty(); }
+    [[nodiscard]] RunView operator[](std::size_t i) const { return d_->run(i); }
+    [[nodiscard]] iterator begin() const { return {d_, 0}; }
+    [[nodiscard]] iterator end() const { return {d_, size()}; }
+
+   private:
+    const Diff* d_;
   };
 
   /// Builds the diff `twin -> current`.  Both spans must be the same size,
@@ -30,20 +67,36 @@ class Diff {
   /// Overwrites the runs into `page`.
   void apply(std::span<std::byte> page) const;
 
-  [[nodiscard]] bool empty() const { return runs_.empty(); }
-  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+  [[nodiscard]] bool empty() const { return headers_.empty(); }
+  [[nodiscard]] RunRange runs() const { return RunRange{this}; }
 
   /// Number of words carried.
-  [[nodiscard]] std::size_t word_count() const;
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
 
   /// Encoded size on the wire: per-run header (index + length, 8 bytes)
   /// plus 4 bytes per word, plus a fixed page/interval header.
-  [[nodiscard]] std::size_t wire_bytes() const;
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return 12 + 8 * headers_.size() + 4 * words_.size();
+  }
 
  private:
-  std::vector<Run> runs_;
+  friend class RunRange;
+
+  struct RunHeader {
+    std::uint32_t word_index;  // offset within the page, in words
+    std::uint32_t begin;       // offset of the run's words in words_
+    std::uint32_t length;      // run length in words
+  };
+
+  [[nodiscard]] RunView run(std::size_t i) const {
+    const RunHeader& h = headers_[i];
+    return {h.word_index, {words_.data() + h.begin, h.length}};
+  }
+
+  std::vector<RunHeader> headers_;
+  std::vector<std::uint32_t> words_;
 };
 
-using DiffPtr = std::shared_ptr<const Diff>;
+using DiffPtr = util::PoolPtr<const Diff>;
 
 }  // namespace repseq::tmk

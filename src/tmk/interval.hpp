@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "tmk/gaddr.hpp"
 #include "tmk/vector_clock.hpp"
 #include "util/check.hpp"
+#include "util/pool_ptr.hpp"
 
 namespace repseq::tmk {
 
@@ -31,7 +31,9 @@ struct IntervalRecord {
   }
 };
 
-using IntervalRecordPtr = std::shared_ptr<const IntervalRecord>;
+/// Pool-backed, non-atomically counted: records fan out to every node
+/// inside synchronization payloads, so handle copies are a hot path.
+using IntervalRecordPtr = util::PoolPtr<const IntervalRecord>;
 
 /// All interval records a node knows, indexed by owner.  Records per owner
 /// are stored densely in index order (index i at position i-1).

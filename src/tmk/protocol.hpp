@@ -285,7 +285,7 @@ net::Message make_message(MsgKind kind, NodeId src, NodeId dst, P payload) {
   m.dst = dst;
   m.kind = static_cast<std::uint32_t>(kind);
   m.payload_bytes = payload.wire_bytes();
-  m.payload = std::make_shared<const P>(std::move(payload));
+  m.payload = util::make_pooled<P>(std::move(payload));
   return m;
 }
 

@@ -69,6 +69,20 @@ std::span<const std::byte> NodeRuntime::page_span(PageId p) const {
   return {mem_.data() + static_cast<std::size_t>(p) * pb, pb};
 }
 
+std::unique_ptr<std::byte[]> NodeRuntime::acquire_twin() {
+  if (!twin_pool_.empty()) {
+    auto t = std::move(twin_pool_.back());
+    twin_pool_.pop_back();
+    return t;
+  }
+  // Uninitialized: the caller memcpys the full page over it immediately.
+  return std::unique_ptr<std::byte[]>(new std::byte[config().page_bytes]);
+}
+
+void NodeRuntime::release_twin(std::unique_ptr<std::byte[]> twin) {
+  if (twin != nullptr) twin_pool_.push_back(std::move(twin));
+}
+
 // ---------------------------------------------------------------------------
 // Access barriers
 // ---------------------------------------------------------------------------
@@ -146,7 +160,7 @@ void NodeRuntime::write_barrier(GAddr addr, std::size_t bytes) {
       }
       // ReadOnly: create the twin and commit, yield-free.
       REPSEQ_PAGE_TRACE(p, "write fault: twin created (vc_self=%u)", vc_.at(id_));
-      ps.twin = std::make_unique<std::byte[]>(pb);
+      ps.twin = acquire_twin();
       std::memcpy(ps.twin.get(), page_span(p).data(), pb);
       ps.prot = PageProt::Writable;
       if (!ps.dirty_in_current) {
@@ -167,7 +181,7 @@ void NodeRuntime::end_interval() {
   if (current_dirty_.empty()) return;
   vc_.bump(id_);
   const std::uint32_t idx = vc_.at(id_);
-  auto rec = std::make_shared<IntervalRecord>();
+  auto rec = util::make_pooled<IntervalRecord>();
   rec->owner = id_;
   rec->index = idx;
   rec->vc = vc_;
@@ -186,8 +200,8 @@ void NodeRuntime::end_interval() {
       // was written afterwards.  The interval's modifications already
       // travelled inside the flushed diff under its closed covers; register
       // an empty diff so requests for this interval are answerable.
-      own_diffs_[{p, idx}].push_back(std::make_shared<const RegisteredDiff>(RegisteredDiff{
-          next_diff_seq_++, {idx}, std::make_shared<const Diff>()}));
+      own_diffs_[{p, idx}].push_back(util::make_pooled<RegisteredDiff>(RegisteredDiff{
+          next_diff_seq_++, {idx}, util::make_pooled<Diff>()}));
       REPSEQ_PAGE_TRACE(p, "end_interval idx=%u (no twin: empty diff registered)", idx);
     }
   }
@@ -230,8 +244,7 @@ void NodeRuntime::flush_diff(PageId p, bool on_server) {
     charge(cost);
   }
 
-  auto diff = std::make_shared<const Diff>(
-      Diff::create({ps.twin.get(), pb}, page_span(p)));
+  DiffPtr diff = util::make_pooled<Diff>(Diff::create({ps.twin.get(), pb}, page_span(p)));
 
   REPSEQ_PAGE_TRACE(p, "flush_diff open=%zu dirty=%d vc_self=%u", ps.open_intervals.size(),
                     ps.dirty_in_current ? 1 : 0, vc_.at(id_));
@@ -251,13 +264,13 @@ void NodeRuntime::flush_diff(PageId p, bool on_server) {
     covers.push_back(vc_.at(id_) + 1);
   }
   REPSEQ_CHECK(!covers.empty(), "twin with no covered intervals");
-  auto rd = std::make_shared<const RegisteredDiff>(
+  auto rd = util::make_pooled<RegisteredDiff>(
       RegisteredDiff{next_diff_seq_++, covers, std::move(diff)});
   for (std::uint32_t i : covers) {
     own_diffs_[{p, i}].push_back(rd);
   }
   ps.open_intervals.clear();
-  ps.twin.reset();
+  release_twin(std::move(ps.twin));
   if (ps.prot == PageProt::Writable) {
     ps.prot = PageProt::ReadOnly;  // next write re-twins
   }

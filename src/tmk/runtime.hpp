@@ -38,6 +38,7 @@
 #include "tmk/shared_heap.hpp"
 #include "tmk/stats.hpp"
 #include "tmk/vector_clock.hpp"
+#include "util/lazy_bytes.hpp"
 
 namespace repseq::tmk {
 
@@ -201,6 +202,12 @@ class NodeRuntime {
     slave_known_vc_[s].max_with(vc);
   }
 
+  /// Scratch twin buffers, one page each, recycled between twin lifetimes
+  /// (created at the first write to a clean page, freed at diff flush --
+  /// a high-frequency pairing on write-heavy workloads).
+  [[nodiscard]] std::unique_ptr<std::byte[]> acquire_twin();
+  void release_twin(std::unique_ptr<std::byte[]> twin);
+
   /// The dispatcher fiber body (spawned by Cluster).
   void dispatcher_loop();
 
@@ -244,7 +251,7 @@ class NodeRuntime {
   Cluster& cluster_;
   NodeId id_;
   sim::Cpu cpu_;
-  std::vector<std::byte> mem_;
+  util::LazyBytes mem_;
   std::vector<PageState> pages_;
   VectorClock vc_;
   IntervalLog log_;
@@ -255,12 +262,13 @@ class NodeRuntime {
     std::vector<std::uint32_t> covers;  // every interval this diff backs
     DiffPtr diff;
   };
-  using RegisteredDiffPtr = std::shared_ptr<const RegisteredDiff>;
+  using RegisteredDiffPtr = util::PoolPtr<const RegisteredDiff>;
   /// Own diffs per (page, interval); the same registration may appear under
   /// several intervals (merged lazy diffs).
   std::map<std::pair<PageId, std::uint32_t>, std::vector<RegisteredDiffPtr>> own_diffs_;
   std::uint64_t next_diff_seq_ = 1;
   std::map<PageId, std::vector<IntervalRecordPtr>> page_notice_index_;
+  std::vector<std::unique_ptr<std::byte[]>> twin_pool_;
 
   NodeStats stats_;
   std::uint64_t next_req_id_ = 1;

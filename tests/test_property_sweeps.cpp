@@ -4,6 +4,7 @@
 // page boundaries must behave like plain ones.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -307,12 +308,19 @@ struct OrderingAxis {
   rse::policy::PolicyKind policy;  // consulted in SeqMode::Adaptive only
 };
 
-ShardRunResult run_ordering_workload(const net::NetConfig& ncfg, const OrderingAxis& ax) {
-  constexpr std::size_t kNodes = 5;
-  constexpr std::size_t kElems = 2048;
+ShardRunResult run_ordering_workload(const net::NetConfig& ncfg, const OrderingAxis& ax,
+                                     std::size_t kNodes = 5, std::size_t kElems = 2048) {
   TmkConfig cfg;
   cfg.page_bytes = 1024;
   cfg.heap_bytes = 1u << 20;
+  if (kNodes > 128) {
+    // A single server fields an O(N) request backlog per hot page; both the
+    // retransmit and the RSE recovery timeouts must cover that service time
+    // at large N or the timeout traffic snowballs (same scaling as the perf
+    // harnesses).
+    cfg.request_timeout = sim::milliseconds(static_cast<std::int64_t>(kNodes));
+    cfg.rse_wait_timeout = sim::milliseconds(static_cast<std::int64_t>(16 * kNodes));
+  }
   Cluster cl(cfg, ncfg, kNodes);
   rse::RseController rse(cl, ax.flow);
   std::unique_ptr<rse::policy::PolicyEngine> policy;
@@ -419,6 +427,46 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // ---------------------------------------------------------------------------
+// Transport invariance at scale: the same protocol guarantee, but at the
+// cluster sizes the perf work targets.  All four wire backends must agree on
+// checksums and interval vectors at N in {16, 32, 256} -- the large-N case
+// is exactly where the pooled hot paths (payload handles, contiguous diffs,
+// pooled event slots) carry the traffic, so this doubles as an end-to-end
+// correctness gate on the allocation rework.
+// ---------------------------------------------------------------------------
+
+class TransportScaleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TransportScaleSweep, AllFourTransportsAgreeOnChecksumAndIntervalVectors) {
+  const std::size_t nodes = GetParam();
+  const OrderingAxis ax{SeqMode::Replicated, rse::FlowControl::Chained,
+                        rse::policy::PolicyKind::Greedy};
+
+  // A leaner workload than the 5-node ordering axis: at N=256 every extra
+  // element multiplies 4 transports x 256 faulting nodes, and the property
+  // being pinned (cross-backend agreement) does not need more pages.
+  constexpr std::size_t kElems = 1024;
+
+  net::NetConfig hub;
+  hub.transport = net::TransportKind::HubSwitch;
+  const ShardRunResult ref = run_ordering_workload(hub, ax, nodes, kElems);
+
+  const auto check = [&](net::TransportKind kind, std::size_t shards, const char* what) {
+    net::NetConfig ncfg;
+    ncfg.transport = kind;
+    ncfg.hub_shards = shards;
+    const ShardRunResult got = run_ordering_workload(ncfg, ax, nodes, kElems);
+    EXPECT_EQ(got.checksum, ref.checksum) << what << " N=" << nodes;
+    EXPECT_EQ(got.interval_vectors, ref.interval_vectors) << what << " N=" << nodes;
+  };
+  check(net::TransportKind::ShardedHub, 4, "sharded S=4");
+  check(net::TransportKind::DirectAll, 1, "direct fan-out");
+  check(net::TransportKind::TreeMulticast, 1, "event-driven tree");
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, TransportScaleSweep, ::testing::Values(16u, 32u, 256u));
+
+// ---------------------------------------------------------------------------
 // Determinism across configurations
 // ---------------------------------------------------------------------------
 
@@ -448,6 +496,87 @@ TEST_P(DeterminismSweep, TwoRunsProduceIdenticalEventCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(NodeCounts, DeterminismSweep, ::testing::Values(2u, 4u, 7u));
+
+// ---------------------------------------------------------------------------
+// Event-queue structure invariance: REPSEQ_EVENTQ selects the scheduler
+// heap's arity (binary vs quad).  The queue's (time, seq) order is total, so
+// the pop sequence -- and therefore every protocol decision downstream --
+// must be bit-identical whichever structure serves it.  This is the
+// regression gate for swapping event-queue implementations.
+// ---------------------------------------------------------------------------
+
+struct ArityRunResult {
+  long checksum = 0;
+  std::int64_t final_ns = 0;
+  std::uint64_t events = 0;
+  std::uint64_t msgs = 0;
+  std::vector<VectorClock> interval_vectors;
+  std::vector<rse::policy::Decision> decisions;
+};
+
+ArityRunResult run_with_eventq(const char* arity) {
+  ::setenv("REPSEQ_EVENTQ", arity, 1);
+  constexpr std::size_t kNodes = 9;
+  TmkConfig cfg;
+  cfg.heap_bytes = 1u << 20;
+  Cluster cl(cfg, net::NetConfig{}, kNodes);
+  ::unsetenv("REPSEQ_EVENTQ");
+  rse::RseController rse(cl, rse::FlowControl::Chained);
+  rse::policy::PolicyConfig pcfg;
+  pcfg.kind = rse::policy::PolicyKind::Greedy;
+  rse::policy::PolicyEngine policy(cl, pcfg);
+  ompnow::Team team(cl, SeqMode::Adaptive, &rse, &policy);
+  auto a = ShArray<long>::alloc(cl, 2048, /*page_aligned=*/true);
+
+  ArityRunResult out;
+  cl.run([&](NodeRuntime&) {
+    team.parallel_for(0, 2048, Schedule::StaticBlock, [&](const Ctx&, long i) {
+      a.store(static_cast<std::size_t>(i), 7 * i + 5);
+    });
+    for (int round = 0; round < 3; ++round) {
+      team.sequential(1, [&](const Ctx&) {
+        for (std::size_t i = 0; i < 2048; ++i) a.store(i, a.load(i) % 1000003 + 13);
+      });
+      team.parallel_for(0, 2048, Schedule::StaticCyclic, [&](const Ctx&, long i) {
+        a.store(static_cast<std::size_t>(i), a.load(static_cast<std::size_t>(i)) * 2 + 1);
+      });
+    }
+    team.sequential(2, [&](const Ctx&) {
+      long s = 0;
+      for (std::size_t i = 0; i < 2048; ++i) s += a.load(i);
+      out.checksum = s;
+    });
+  });
+  out.final_ns = cl.engine().now().ns;
+  out.events = cl.engine().events_executed();
+  out.msgs = cl.network().messages_sent();
+  for (net::NodeId n = 0; n < kNodes; ++n) {
+    out.interval_vectors.push_back(cl.node(n).vc());
+  }
+  out.decisions = policy.decisions();
+  return out;
+}
+
+TEST(EventQueueArity, BinaryAndQuadEnginesProduceIdenticalDecisionLogs) {
+  const ArityRunResult bin = run_with_eventq("binary");
+  const ArityRunResult quad = run_with_eventq("quad");
+
+  EXPECT_EQ(bin.checksum, quad.checksum);
+  EXPECT_EQ(bin.final_ns, quad.final_ns);
+  EXPECT_EQ(bin.events, quad.events);
+  EXPECT_EQ(bin.msgs, quad.msgs);
+  EXPECT_EQ(bin.interval_vectors, quad.interval_vectors);
+
+  ASSERT_EQ(bin.decisions.size(), quad.decisions.size());
+  ASSERT_GT(bin.decisions.size(), 0u) << "workload must exercise the policy engine";
+  for (std::size_t i = 0; i < bin.decisions.size(); ++i) {
+    const rse::policy::Decision& b = bin.decisions[i];
+    const rse::policy::Decision& q = quad.decisions[i];
+    EXPECT_TRUE(b.same_choice(q)) << "decision " << i;
+    EXPECT_EQ(b.section_s, q.section_s) << "decision " << i;
+    EXPECT_EQ(b.mcast_kb, q.mcast_kb) << "decision " << i;
+  }
+}
 
 }  // namespace
 }  // namespace repseq::tmk

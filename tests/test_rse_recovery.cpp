@@ -23,9 +23,10 @@ struct LossyWorld {
   std::unique_ptr<RseController> rse;
   std::unique_ptr<ompnow::Team> team;
 
-  LossyWorld(std::size_t nodes, FlowControl flow, double loss, std::uint64_t seed) {
+  LossyWorld(std::size_t nodes, FlowControl flow, double loss, std::uint64_t seed,
+             sim::SimDuration wait_timeout = sim::milliseconds(20)) {
     cfg.heap_bytes = 1u << 20;
-    cfg.rse_wait_timeout = sim::milliseconds(20);
+    cfg.rse_wait_timeout = wait_timeout;
     cfg.request_timeout = sim::milliseconds(10);
     ncfg.loss_probability = loss;
     ncfg.loss_seed = seed;
@@ -83,6 +84,29 @@ TEST(LossRecoveryStats, RecoveriesAreCountedWhenFramesVanish) {
   for (net::NodeId n = 0; n < 4; ++n) {
     recoveries += lossy.cl->node(n).stats().seq.recoveries;
     recoveries += lossy.cl->node(n).stats().par.recoveries;
+  }
+  EXPECT_GT(recoveries, 0u);
+}
+
+TEST(WatchdogAbandonment, LateCompletingChainDoesNotDoubleFinishRounds) {
+  // An rse_wait_timeout shorter than a full ack chain makes the master's
+  // watchdog abandon rounds that are still walking (and faulters repair
+  // themselves through direct recovery).  The abandoned chain still
+  // completes afterwards -- and that late completion must be inert: it used
+  // to call master_round_finished against whatever round (if any) the
+  // master had moved on to, tripping "round finish without a round".
+  // Surfaced by the 256-node transport-invariance sweep.
+  LossyWorld calm(16, FlowControl::Chained, 0.0, 1);
+  const long expect = run_workload(calm, 4000);
+
+  LossyWorld hurried(16, FlowControl::Chained, 0.0, 1, sim::microseconds(2000));
+  EXPECT_EQ(run_workload(hurried, 4000), expect);
+
+  // The scenario only bites if timeouts actually fired mid-round.
+  std::uint64_t recoveries = 0;
+  for (net::NodeId n = 0; n < 16; ++n) {
+    recoveries += hurried.cl->node(n).stats().seq.recoveries;
+    recoveries += hurried.cl->node(n).stats().par.recoveries;
   }
   EXPECT_GT(recoveries, 0u);
 }

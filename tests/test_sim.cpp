@@ -50,7 +50,7 @@ TEST(EventQueue, OrdersByTimeThenSequence) {
   q.schedule(SimTime{10}, [&] { fired.push_back(1); });
   q.schedule(SimTime{5}, [&] { fired.push_back(2); });
   q.schedule(SimTime{10}, [&] { fired.push_back(3); });
-  while (!q.empty()) q.pop()->fn();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
 }
 
@@ -62,8 +62,89 @@ TEST(EventQueue, CancelSkipsEntry) {
   q.cancel(h);
   EXPECT_EQ(q.live_count(), 1u);
   EXPECT_EQ(q.next_time(), SimTime{2});
-  while (!q.empty()) q.pop()->fn();
+  while (!q.empty()) q.pop().fn();
   EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, CancelledHeadNeverObservedThenPopped) {
+  // Cancel the event sitting at the heap head: empty()/next_time() must not
+  // see it, and the subsequent pop must surface the live successor.
+  EventQueue q;
+  std::vector<int> fired;
+  auto head = q.schedule(SimTime{1}, [&] { fired.push_back(1); });
+  q.schedule(SimTime{5}, [&] { fired.push_back(2); });
+  q.cancel(head);
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.next_time(), SimTime{5});
+  auto popped = q.pop();
+  EXPECT_EQ(popped.time, SimTime{5});
+  popped.fn();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelTwiceAtHeapHeadIsIdempotent) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(SimTime{1}, [&] { ++fired; });
+  q.schedule(SimTime{2}, [&] { ++fired; });
+  q.cancel(h);
+  q.cancel(h);  // second cancel must not disturb live accounting
+  EXPECT_EQ(q.live_count(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+  q.cancel(h);  // and a cancel after everything drained is still inert
+  EXPECT_EQ(q.live_count(), 0u);
+}
+
+TEST(EventQueue, CancelAfterPopIsInertDespiteSlotReuse) {
+  // A handle whose event already ran must stay dead even after its pooled
+  // slot has been recycled for a newer event (generation counting).
+  EventQueue q;
+  int fired = 0;
+  auto h = q.schedule(SimTime{1}, [&] { ++fired; });
+  q.pop().fn();
+  auto h2 = q.schedule(SimTime{2}, [&] { fired += 10; });  // reuses the slot
+  q.cancel(h);                                             // stale: must be a no-op
+  EXPECT_EQ(q.live_count(), 1u);
+  EXPECT_EQ(q.next_time(), SimTime{2});
+  q.pop().fn();
+  EXPECT_EQ(fired, 11);
+  (void)h2;
+}
+
+TEST(EventQueue, CancelWholeQueueLeavesItEmpty) {
+  EventQueue q;
+  std::vector<EventQueue::Handle> hs;
+  hs.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    hs.push_back(q.schedule(SimTime{i}, [] {}));
+  }
+  for (auto& h : hs) q.cancel(h);
+  EXPECT_EQ(q.live_count(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peak_live(), 10u);
+}
+
+TEST(EventQueue, BinaryAndQuadHeapsPopIdentically) {
+  // The (time, seq) order is total, so the pop sequence must not depend on
+  // the heap arity.  Interleaved schedule/cancel/pop on both structures.
+  EventQueue bin(2);
+  EventQueue quad(4);
+  std::vector<int> fired_bin;
+  std::vector<int> fired_quad;
+  auto drive = [](EventQueue& q, std::vector<int>& fired) {
+    std::vector<EventQueue::Handle> hs;
+    for (int i = 0; i < 100; ++i) {
+      const auto t = SimTime{(i * 37) % 50};  // heavy timestamp collisions
+      hs.push_back(q.schedule(t, [&fired, i] { fired.push_back(i); }));
+    }
+    for (int i = 0; i < 100; i += 7) q.cancel(hs[static_cast<std::size_t>(i)]);
+    while (!q.empty()) q.pop().fn();
+  };
+  drive(bin, fired_bin);
+  drive(quad, fired_quad);
+  EXPECT_EQ(fired_bin, fired_quad);
 }
 
 TEST(Engine, VirtualTimeAdvancesThroughSleeps) {

@@ -139,7 +139,7 @@ TEST(VectorClock, LamportSumRespectsHappensBefore) {
 TEST(IntervalLog, InsertsInOrderAndIgnoresDuplicates) {
   IntervalLog log(2);
   auto rec = [&](NodeId o, std::uint32_t i) {
-    auto r = std::make_shared<IntervalRecord>();
+    auto r = util::make_pooled<IntervalRecord>();
     r->owner = o;
     r->index = i;
     r->vc = VectorClock(2);
@@ -157,7 +157,7 @@ TEST(IntervalLog, InsertsInOrderAndIgnoresDuplicates) {
 TEST(IntervalLog, RecordsAfterReturnsExactlyTheGap) {
   IntervalLog log(2);
   for (std::uint32_t i = 1; i <= 5; ++i) {
-    auto r = std::make_shared<IntervalRecord>();
+    auto r = util::make_pooled<IntervalRecord>();
     r->owner = 1;
     r->index = i;
     r->vc = VectorClock(2);
