@@ -92,6 +92,17 @@ inline std::map<std::uint32_t, rse::policy::SectionStrategy> bench_pin_sites() {
   return *pins;
 }
 
+/// Frame-coalescing window in virtual microseconds:
+/// REPSEQ_BATCH_WINDOW=<us> (0 = no coalescing, the default).  Malformed
+/// values fail loud like every other axis.
+inline sim::SimDuration bench_batch_window(sim::SimDuration fallback = {}) {
+  const char* v = std::getenv("REPSEQ_BATCH_WINDOW");
+  if (v == nullptr) return fallback;
+  const auto w = net::parse_batch_window(v);
+  if (!w) env_value_error("REPSEQ_BATCH_WINDOW", v, "non-negative integer microseconds");
+  return *w;
+}
+
 /// Node counts for the cluster-size sweeps, capped by REPSEQ_NODES so CI
 /// smoke runs can bound their cost (e.g. REPSEQ_NODES=8 keeps {2,4,8}).
 inline std::vector<std::size_t> sweep_node_counts() {
@@ -107,6 +118,7 @@ inline net::NetConfig bench_net_config() {
   net::NetConfig ncfg;
   ncfg.transport = bench_transport();
   ncfg.hub_shards = bench_hub_shards();
+  ncfg.batch_window = bench_batch_window();
   return ncfg;
 }
 

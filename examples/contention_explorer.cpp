@@ -107,7 +107,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [hub|tree|direct|sharded] [shards]\n"
                "          [--mode base|replicated|broadcast|adaptive]\n"
-               "          [--policy static|greedy|hysteresis]\n",
+               "          [--policy static|greedy|hysteresis]\n"
+               "          [--batch-window <microseconds>]\n",
                argv0);
   return 2;
 }
@@ -147,6 +148,15 @@ int main(int argc, char** argv) {
       const auto k = rse::policy::parse_policy(argv[i]);
       if (!k) return usage(argv[0]);
       pcfg.kind = *k;
+    } else if (arg == "--batch-window") {
+      if (++i >= argc) return usage(argv[0]);
+      const auto w = net::parse_batch_window(argv[i]);
+      if (!w) {
+        std::fprintf(stderr, "batch window must be a non-negative microsecond count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      ncfg.batch_window = *w;
     } else if (positional == 0) {
       const auto kind = net::parse_transport(arg);
       if (!kind) return usage(argv[0]);
@@ -186,6 +196,9 @@ int main(int argc, char** argv) {
                 ncfg.hub_shards);
   } else {
     std::printf("transport: %s", net::transport_name(ncfg.transport));
+  }
+  if (ncfg.batch_window.ns > 0) {
+    std::printf("   batch window: %.0f us", ncfg.batch_window.micros());
   }
   if (adaptive) {
     std::printf("   policy: %s", rse::policy::policy_name(pcfg.kind));

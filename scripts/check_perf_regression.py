@@ -3,9 +3,15 @@
 
 Compares the events/sec of each (app, nodes) run in a freshly produced
 BENCH_sim.json against the committed baseline and fails if any run regressed
-by more than the tolerance (default 25%, matching the CI contract).  Runs
-present in only one file are ignored, so a REPSEQ_NODES-capped CI sweep can
-be checked against a full-sweep baseline.
+by more than the tolerance (default 25%, matching the CI contract).
+
+Coverage is part of the gate: a baseline run missing from the current sweep
+fails the check -- a silent skip would let a deleted or crashed benchmark
+sail through.  The one sanctioned gap is a REPSEQ_NODES-capped CI sweep
+checked against a full-sweep baseline: a baseline (app, nodes) run is
+excused only when the current file does run that app, just never at that
+many nodes.  Runs only the current file has (a freshly added benchmark) are
+reported and ignored.
 
 Usage:  check_perf_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
 
@@ -42,6 +48,29 @@ def main():
         return 2
 
     failures = []
+
+    # Coverage gate: every baseline run must appear in the current sweep.
+    # The only excused absence is a node-count the current sweep was capped
+    # below (the app itself still ran); a whole app vanishing is a failure.
+    max_nodes = {}
+    for app, nodes in current:
+        max_nodes[app] = max(nodes, max_nodes.get(app, 0))
+    for key in sorted(set(baseline) - set(current)):
+        app, nodes = key
+        if app not in max_nodes:
+            print(f"error: baseline app '{app}' is missing entirely from "
+                  f"{args.current}", file=sys.stderr)
+            failures.append(key)
+        elif nodes <= max_nodes[app]:
+            print(f"error: baseline run {key} is missing from "
+                  f"{args.current} (app ran up to n={max_nodes[app]})",
+                  file=sys.stderr)
+            failures.append(key)
+        else:
+            print(f"{app:>12} n={nodes:<5} skipped (node-capped sweep, "
+                  f"current max n={max_nodes[app]})")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"{key[0]:>12} n={key[1]:<5} new run, no baseline -- ignored")
     for key in shared:
         cur = current[key]["events_per_sec"]
         base = baseline[key]["events_per_sec"]
@@ -66,7 +95,8 @@ def main():
 
     if failures:
         print(f"\nFAIL: {len(failures)} run(s) regressed more than "
-              f"{args.tolerance:.0%} (or changed results)", file=sys.stderr)
+              f"{args.tolerance:.0%}, changed results, or went missing",
+              file=sys.stderr)
         return 1
     print(f"\nOK: {len(shared)} run(s) within {args.tolerance:.0%} of baseline")
     return 0

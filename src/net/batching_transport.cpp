@@ -1,0 +1,109 @@
+#include "net/batching_transport.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace repseq::net {
+
+BatchingTransport::BatchingTransport(sim::Engine& eng, const NetConfig& cfg,
+                                     std::vector<std::unique_ptr<Nic>>& nics,
+                                     std::unique_ptr<Transport> inner)
+    : Transport(eng, cfg, nics), inner_(std::move(inner)) {
+  REPSEQ_CHECK(cfg.batch_window.ns > 0, "BatchingTransport needs a nonzero window");
+}
+
+void BatchingTransport::unicast(const Message& msg, std::size_t wire_bytes,
+                                const DeliverFn& deliver, const AccountFn& account) {
+  (void)wire_bytes;  // recomputed for the combined payload at flush
+  enqueue(unicast_key(msg.src, msg.dst), /*is_multicast=*/false, msg, deliver, account);
+}
+
+void BatchingTransport::multicast(const Message& msg, std::size_t wire_bytes,
+                                  const DeliverFn& deliver, const AccountFn& account) {
+  if (inner_->defers_delivery()) {
+    // The forwarding tree's frames leave hop by hop from interior nodes;
+    // it piggybacks per interior edge itself (tree_multicast_transport).
+    inner_->multicast(msg, wire_bytes, deliver, account);
+    return;
+  }
+  enqueue(multicast_key(msg.src, shard_of(msg.mcast_group, inner_->shard_count())),
+          /*is_multicast=*/true, msg, deliver, account);
+}
+
+void BatchingTransport::enqueue(std::uint64_t key, bool is_multicast, const Message& msg,
+                                const DeliverFn& deliver, const AccountFn& account) {
+  Queue& q = queues_[key];
+  if (q.window_open) {
+    q.q.push_back(Pending{msg, deliver, account});
+    return;
+  }
+  // Idle destination: the frame leaves at once and opens the window behind
+  // it, so the first frame of a burst -- and every step of a chained round
+  // -- pays no coalescing delay; only the pile-up does.
+  q.window_open = true;
+  eng_.schedule_in(cfg_.batch_window, [this, key, is_multicast] { flush(key, is_multicast); });
+  transmit(is_multicast, {Pending{msg, deliver, account}});
+}
+
+void BatchingTransport::flush(std::uint64_t key, bool is_multicast) {
+  Queue& q = queues_[key];
+  if (q.q.empty()) {
+    // Nothing arrived while the window was open: the destination goes idle
+    // and the next send will again leave immediately.
+    q.window_open = false;
+    return;
+  }
+  const std::vector<Pending> batch = std::move(q.q);
+  q.q.clear();
+  // Traffic is still flowing to this destination: re-arm the window so a
+  // sustained stream keeps leaving as one combined frame per window.
+  eng_.schedule_in(cfg_.batch_window, [this, key, is_multicast] { flush(key, is_multicast); });
+  transmit(is_multicast, batch);
+}
+
+void BatchingTransport::transmit(bool is_multicast, const std::vector<Pending>& batch) {
+  // The combined frame: concatenated payloads under one set of headers.
+  // Group identity (src, dst/mcast_group, kind) is taken from the carrier;
+  // every constituent in this queue shares the delivery set by key
+  // construction, and the inner backend never reads the payload.
+  Message combined = batch.front().msg;
+  std::size_t payload_total = 0;
+  for (const Pending& p : batch) payload_total += p.msg.payload_bytes;
+  combined.payload_bytes = payload_total;
+  const std::size_t combined_wire = cfg_.wire_bytes(payload_total);
+
+  // The inner backend is synchronous on this path (unicast everywhere;
+  // multicast only for non-deferring backends), so the committed totals are
+  // complete when the call returns and can be split across constituents.
+  std::size_t frames_total = 0;
+  std::size_t bytes_total = 0;
+  const auto deliver_all = [&](NodeId dst, sim::SimTime at) {
+    bool any = false;
+    for (const Pending& p : batch) {
+      if (p.deliver(dst, at)) any = true;  // per-constituent loss draw
+    }
+    return any;
+  };
+  const auto account_total = [&](std::size_t frames, std::size_t bytes) {
+    frames_total += frames;
+    bytes_total += bytes;
+  };
+  if (is_multicast) {
+    inner_->multicast(combined, combined_wire, deliver_all, account_total);
+  } else {
+    inner_->unicast(combined, combined_wire, deliver_all, account_total);
+  }
+
+  // Carrier/rider split (see transport.hpp): riders pay their payload
+  // bytes, the carrier pays the rest (frames, headers, fan-out).
+  std::size_t rider_bytes = 0;
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    rider_bytes += batch[i].msg.payload_bytes;
+    batch[i].account(0, batch[i].msg.payload_bytes);
+  }
+  REPSEQ_CHECK(bytes_total >= rider_bytes, "combined frame smaller than its riders");
+  batch.front().account(frames_total, bytes_total - rider_bytes);
+}
+
+}  // namespace repseq::net

@@ -9,7 +9,7 @@ void DirectAllTransport::multicast(const Message& msg, std::size_t wire_bytes,
   // frame is transmitted even if lost at its receiver.
   for (NodeId dst = 0; dst < nics_.size(); ++dst) {
     if (dst == msg.src) continue;
-    account(1);
+    account(1, wire_bytes);
     deliver(dst, forward_hop(msg.src, dst, wire_bytes, eng_.now()));
   }
 }

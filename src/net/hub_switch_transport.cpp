@@ -7,7 +7,7 @@ void HubSwitchTransport::multicast(const Message& msg, std::size_t wire_bytes,
   // One frame occupies the shared medium; all receivers see it at the same
   // instant once it has fully propagated.
   const sim::SimTime done = hub_.transmit(wire_bytes, eng_.now());
-  account(1);
+  account(1, wire_bytes);
   for (NodeId n = 0; n < nics_.size(); ++n) {
     if (n == msg.src) continue;  // the sender consumes its own data locally
     deliver(n, done);

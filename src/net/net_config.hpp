@@ -71,9 +71,33 @@ enum class TransportKind {
   return static_cast<std::size_t>(x % shards);
 }
 
+/// Parses a coalescing-window selection (REPSEQ_BATCH_WINDOW / CLI): a
+/// non-negative integer count of virtual microseconds.  0 disables
+/// coalescing entirely (the frame-for-frame behaviour of the unwrapped
+/// backends).  Returns nullopt on anything else -- callers fail loud.
+[[nodiscard]] inline std::optional<sim::SimDuration> parse_batch_window(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::int64_t us = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    us = us * 10 + (c - '0');
+    if (us > 1'000'000'000) return std::nullopt;  // > 1000 virtual seconds: nonsense
+  }
+  return sim::microseconds(us);
+}
+
 struct NetConfig {
   /// Transport backend carrying unicast and multicast traffic.
   TransportKind transport = TransportKind::HubSwitch;
+
+  /// Frame-coalescing window.  When nonzero, outgoing frames queued for the
+  /// same destination (unicast) / the same medium shard (multicast) within
+  /// this span of virtual time leave as ONE combined wire frame:
+  /// net::BatchingTransport wraps the selected backend, and the forwarding
+  /// tree additionally piggybacks concurrent group forwards per interior
+  /// edge.  Zero (the default) means no wrapping -- behaviour is
+  /// frame-for-frame identical to the unwrapped backend.
+  sim::SimDuration batch_window{};
 
   /// Fan-out of the TreeMulticast forwarding tree (k-ary, k >= 1).
   std::size_t mcast_tree_fanout = 2;

@@ -24,22 +24,54 @@ bool Network::deliver_at(sim::SimTime t, NodeId dst, const Message& msg) {
   return true;
 }
 
-std::uint64_t Network::unicast(Message msg) {
+std::uint64_t Network::unicast(Message msg, SendAccount account) {
   REPSEQ_CHECK(msg.src < nics_.size(), "bad unicast src");
   REPSEQ_CHECK(msg.dst < nics_.size(), "bad unicast dst");
   REPSEQ_CHECK(msg.dst != msg.src, "unicast to self");
   msg.id = next_id_++;
   const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
-  ++messages_sent_;
-  bytes_sent_ += wire;
   if (tap_) tap_(msg, wire, /*is_multicast=*/false);
-
   const sim::SimTime sent = eng_.now();
-  transport_->unicast(msg, wire, [&](NodeId dst, sim::SimTime at) {
-    REPSEQ_CHECK(at >= sent, "transport delivered into the past");
-    return deliver_at(at, dst, msg);
-  });
-  return msg.id;
+
+  if (!transport_->defers_delivery()) {
+    // Synchronous backends: both callbacks fire inside this call, so the
+    // whole send stays on the stack -- no per-send allocation.
+    transport_->unicast(
+        msg, wire,
+        [&](NodeId dst, sim::SimTime at) {
+          REPSEQ_CHECK(at >= sent, "transport delivered into the past");
+          return deliver_at(at, dst, msg);
+        },
+        [&](std::size_t frames, std::size_t bytes) {
+          messages_sent_ += frames;
+          bytes_sent_ += bytes;
+          if (account) account(frames, bytes);
+        });
+    return msg.id;
+  }
+
+  // Coalescing backend: the frame leaves (and is charged) at the window
+  // flush, after this call returns, so the callbacks must own their state.
+  // The loss draw also moves to commit time, per constituent.
+  struct UniSend {
+    Network* nw;
+    Message msg;
+    sim::SimTime sent;
+    SendAccount account;
+  };
+  auto u = util::make_pooled<UniSend>(UniSend{this, std::move(msg), sent, std::move(account)});
+  transport_->unicast(
+      u->msg, wire,
+      [u](NodeId dst, sim::SimTime at) {
+        REPSEQ_CHECK(at >= u->sent, "transport delivered into the past");
+        return u->nw->deliver_at(at, dst, u->msg);
+      },
+      [u](std::size_t frames, std::size_t bytes) {
+        u->nw->messages_sent_ += frames;
+        u->nw->bytes_sent_ += bytes;
+        if (u->account) u->account(frames, bytes);
+      });
+  return u->msg.id;
 }
 
 void Network::flush_group_schedule(const std::vector<std::pair<sim::SimTime, NodeId>>& sched,
@@ -70,7 +102,7 @@ bool Network::lose_frame(const Message& msg) {
   return false;
 }
 
-std::uint64_t Network::multicast(Message msg, McastAccount account) {
+std::uint64_t Network::multicast(Message msg, SendAccount account) {
   REPSEQ_CHECK(msg.src < nics_.size(), "bad multicast src");
   msg.dst = kMulticastDst;
   msg.id = next_id_++;
@@ -95,10 +127,10 @@ std::uint64_t Network::multicast(Message msg, McastAccount account) {
           sched.emplace_back(at, dst);
           return true;
         },
-        [&](std::size_t frames) {
+        [&](std::size_t frames, std::size_t bytes) {
           messages_sent_ += frames;
-          bytes_sent_ += frames * wire;
-          if (account) account(frames, frames * wire);
+          bytes_sent_ += bytes;
+          if (account) account(frames, bytes);
         });
     flush_group_schedule(sched, msg);
     return msg.id;
@@ -110,16 +142,15 @@ std::uint64_t Network::multicast(Message msg, McastAccount account) {
   struct Burst {
     Network* nw;
     Message msg;
-    std::size_t wire;
     sim::SimTime sent;
-    McastAccount account;
+    SendAccount account;
     /// Deliveries reported synchronously (the root's own hops), batched
     /// by flush_group_schedule like any synchronous send.
     bool collecting = true;
     std::vector<std::pair<sim::SimTime, NodeId>> sched;
   };
   auto b = util::make_pooled<Burst>(
-      Burst{this, std::move(msg), wire, sent, std::move(account), /*collecting=*/true, {}});
+      Burst{this, std::move(msg), sent, std::move(account), /*collecting=*/true, {}});
 
   transport_->multicast(
       b->msg, wire,
@@ -137,10 +168,10 @@ std::uint64_t Network::multicast(Message msg, McastAccount account) {
         }
         return true;
       },
-      [b](std::size_t frames) {
+      [b](std::size_t frames, std::size_t bytes) {
         b->nw->messages_sent_ += frames;
-        b->nw->bytes_sent_ += frames * b->wire;
-        if (b->account) b->account(frames, frames * b->wire);
+        b->nw->bytes_sent_ += bytes;
+        if (b->account) b->account(frames, bytes);
       });
 
   b->collecting = false;

@@ -27,21 +27,26 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  /// Per-send wire accounting, invoked once per batch of frames the
+  /// transport commits to the wire -- possibly *after* the send call
+  /// returned, from a deferred forwarding or coalescing-window flush event.
+  /// Under frame coalescing (NetConfig::batch_window) a send's committed
+  /// bytes are its *share* of a combined frame, and frames may be zero for
+  /// a send that rode another send's frame.  Callers that charge the
+  /// committed cost to per-phase/per-shard counters must capture stable
+  /// references: the callback outlives the send call.
+  using SendAccount = std::function<void(std::size_t frames, std::size_t bytes)>;
+
   /// Sends point-to-point.  Returns the assigned message id.
   /// Must be called from a fiber of the source node (timing uses `now`).
-  std::uint64_t unicast(Message msg);
-
-  /// Per-send wire accounting for a group send, invoked once per batch of
-  /// frames the transport commits to the wire -- possibly *after*
-  /// multicast() returned, from a deferred forwarding event (event-driven
-  /// tree).  Callers that charge frames to per-phase/per-shard counters
-  /// must capture stable references: the callback outlives the send call.
-  using McastAccount = std::function<void(std::size_t frames, std::size_t bytes)>;
+  /// `account` (when set) observes the committed wire cost -- deferred to
+  /// the window flush when the backend coalesces.
+  std::uint64_t unicast(Message msg, SendAccount account = {});
 
   /// Sends to every *other* node (single multicast group).  Frame/byte
   /// accounting is backend-dependent and may be deferred; `account` (when
   /// set) observes every frame as it is committed.
-  std::uint64_t multicast(Message msg, McastAccount account = {});
+  std::uint64_t multicast(Message msg, SendAccount account = {});
 
   [[nodiscard]] Nic& nic(NodeId n) { return *nics_[n]; }
   [[nodiscard]] std::size_t node_count() const { return nics_.size(); }

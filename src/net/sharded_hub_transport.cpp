@@ -19,7 +19,7 @@ void ShardedHubTransport::multicast(const Message& msg, std::size_t wire_bytes,
   // shards are concurrent.
   Hub& hub = hubs_[shard_of(msg.mcast_group, hubs_.size())];
   const sim::SimTime done = hub.transmit(wire_bytes, eng_.now());
-  account(1);
+  account(1, wire_bytes);
   for (NodeId n = 0; n < nics_.size(); ++n) {
     if (n == msg.src) continue;  // the sender consumes its own data locally
     deliver(n, done);

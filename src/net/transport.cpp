@@ -1,5 +1,6 @@
 #include "net/transport.hpp"
 
+#include "net/batching_transport.hpp"
 #include "net/direct_all_transport.hpp"
 #include "net/hub_switch_transport.hpp"
 #include "net/sharded_hub_transport.hpp"
@@ -8,8 +9,10 @@
 
 namespace repseq::net {
 
-std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg,
-                                          std::vector<std::unique_ptr<Nic>>& nics) {
+namespace {
+
+std::unique_ptr<Transport> make_backend(sim::Engine& eng, const NetConfig& cfg,
+                                        std::vector<std::unique_ptr<Nic>>& nics) {
   switch (cfg.transport) {
     case TransportKind::HubSwitch:
       return std::make_unique<HubSwitchTransport>(eng, cfg, nics);
@@ -21,6 +24,19 @@ std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg
       return std::make_unique<ShardedHubTransport>(eng, cfg, nics);
   }
   REPSEQ_CHECK(false, "unknown transport kind");
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_transport(sim::Engine& eng, const NetConfig& cfg,
+                                          std::vector<std::unique_ptr<Nic>>& nics) {
+  auto backend = make_backend(eng, cfg, nics);
+  // A zero window never wraps: behaviour (frames, events, loss draws) stays
+  // bit-identical to the bare backend, which the invariance suite pins.
+  if (cfg.batch_window.ns > 0) {
+    return std::make_unique<BatchingTransport>(eng, cfg, nics, std::move(backend));
+  }
+  return backend;
 }
 
 }  // namespace repseq::net

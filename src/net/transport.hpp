@@ -15,10 +15,16 @@
 // puts frames on the wire from *deferred forwarding events* (an interior
 // tree node transmits only after its own copy has arrived), so the frame
 // count of a group send is not known when multicast() returns.  A backend
-// calls the AccountFn once per frame at the virtual instant that frame's
-// transmission is committed; single-medium backends account their one frame
-// synchronously.  Hops cut off by an upstream loss are never accounted --
-// they were never transmitted.
+// calls the AccountFn at the virtual instant a frame's transmission is
+// committed, reporting both frames and wire bytes: with frame coalescing
+// (BatchingTransport, tree piggybacking) a constituent's committed bytes are
+// its *share* of a combined frame, not the wire size of a standalone send,
+// so bytes can no longer be derived as frames x wire by the caller.
+// Single-medium backends account their one frame synchronously.  Hops cut
+// off by an upstream loss are never accounted -- they were never
+// transmitted.  Conservation invariant: summed over all AccountFn
+// invocations of all sends, (frames, bytes) equals exactly what went on the
+// wire.
 #pragma once
 
 #include <functional>
@@ -41,10 +47,13 @@ namespace repseq::net {
 /// the facade keeps the callback state alive for the whole propagation.
 using DeliverFn = std::function<bool(NodeId dst, sim::SimTime at)>;
 
-/// Invoked by a transport once per frame put on the wire, at the virtual
-/// instant the transmission is committed (possibly from a deferred
-/// forwarding event).  The facade owns the per-frame byte size.
-using AccountFn = std::function<void(std::size_t frames)>;
+/// Invoked by a transport at the virtual instant a transmission is
+/// committed (possibly from a deferred forwarding/flush event), with the
+/// frames put on the wire and this send's share of their wire bytes.  A
+/// coalescing backend splits a combined frame's cost across its
+/// constituents (the carrier pays the frame + headers, the riders pay their
+/// payload bytes), so per-send charges stay conserved against wire truth.
+using AccountFn = std::function<void(std::size_t frames, std::size_t bytes)>;
 
 class Transport {
  public:
@@ -56,8 +65,12 @@ class Transport {
   Transport& operator=(const Transport&) = delete;
 
   /// Models the wire path of one point-to-point frame; calls `deliver`
-  /// exactly once, for msg.dst.
-  virtual void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver) = 0;
+  /// exactly once, for msg.dst, and `account` with the committed frame
+  /// cost.  A coalescing backend may defer both callbacks past this call
+  /// (see defers_delivery) and charge this send only its share of a
+  /// combined frame.
+  virtual void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+                       const AccountFn& account) = 0;
 
   /// Models a group send to every node except msg.src; calls `deliver` at
   /// most once per receiver (a store-and-forward backend skips receivers
@@ -70,10 +83,11 @@ class Transport {
   virtual void multicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
                          const AccountFn& account) = 0;
 
-  /// True when this backend may invoke a group send's callbacks *after*
-  /// multicast() returns (event-driven store-and-forward).  The facade
-  /// keeps callback state on the stack for synchronous backends and only
-  /// promotes it to shared ownership when the backend defers.
+  /// True when this backend may invoke a send's callbacks *after*
+  /// unicast()/multicast() returns (event-driven store-and-forward, or a
+  /// coalescing window).  The facade keeps callback state on the stack for
+  /// synchronous backends and only promotes it to shared ownership when the
+  /// backend defers.
   [[nodiscard]] virtual bool defers_delivery() const { return false; }
 
   /// Frames the *source node itself* transmits for one group send -- what
@@ -117,7 +131,9 @@ class SwitchedTransport : public Transport {
                     std::vector<std::unique_ptr<Nic>>& nics)
       : Transport(eng, cfg, nics), switch_(eng, cfg, nics.size()) {}
 
-  void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver) override {
+  void unicast(const Message& msg, std::size_t wire_bytes, const DeliverFn& deliver,
+               const AccountFn& account) override {
+    account(1, wire_bytes);
     deliver(msg.dst, forward_hop(msg.src, msg.dst, wire_bytes, eng_.now()));
   }
 

@@ -2,34 +2,49 @@
 
 #include <algorithm>
 #include <utility>
+#include <vector>
 
+#include "util/check.hpp"
 #include "util/pool_ptr.hpp"
 
 namespace repseq::net {
-
-struct TreeMulticastTransport::Flight {
-  NodeId src;
-  std::size_t nodes;
-  std::size_t fanout;
-  std::size_t wire_bytes;
-  DeliverFn deliver;
-  AccountFn account;
-
-  [[nodiscard]] NodeId node_at(std::size_t pos) const {
-    return static_cast<NodeId>((src + pos) % nodes);
-  }
-};
 
 void TreeMulticastTransport::multicast(const Message& msg, std::size_t wire_bytes,
                                        const DeliverFn& deliver, const AccountFn& account) {
   const std::size_t n = nics_.size();
   if (n <= 1) return;
   const std::size_t k = std::max<std::size_t>(1, cfg_.mcast_tree_fanout);
+  // Group-affine root with a coalescing window (all sends of a group share
+  // one tree; see the header comment), sender-rooted without one.  The
+  // group's root sticks to its first sender: in the round protocols that
+  // dominate our traces that is the section owner multicasting its write
+  // notices, so the group's dominant sender never pays an injection hop.
+  NodeId root = msg.src;
+  if (cfg_.batch_window.ns > 0) {
+    root = roots_.try_emplace(msg.mcast_group, msg.src).first->second;
+  }
   // The callbacks outlive this call: interior hops run as scheduled events
   // at their parents' arrival instants, so the flight state is shared by
   // (and kept alive through) every pending forwarding event.
-  auto fl = util::make_pooled<Flight>(Flight{msg.src, n, k, wire_bytes, deliver, account});
-  forward_children(fl, 0);
+  auto fl = util::make_pooled<Flight>(Flight{msg.src, root, n, k, wire_bytes,
+                                             msg.payload_bytes,
+                                             shard_of(msg.mcast_group, shard_count()), deliver,
+                                             account});
+  if (root == msg.src) {
+    forward_children(fl, 0);
+    return;
+  }
+  // Injection: one ordinary switched unicast carries the frame from the
+  // sender to the group's tree root.  It rides the same piggyback queues as
+  // any tree hop (the sender's several in-flight injections -- and any tree
+  // forwards it owes on the same edge -- leave as one frame), and a lost
+  // injection prunes the tree descent before a single tree hop is charged.
+  enqueue_hop(msg.src, root, fl, 0);
+  // The sender holds the payload natively, so its own subtree needs no
+  // wave: it forwards its children right now, off the injection's critical
+  // path, and the descent never transmits the edge into the sender's
+  // position (forward_children skips it).
+  forward_children(fl, (std::size_t{msg.src} + n - root) % n);
 }
 
 void TreeMulticastTransport::forward_children(const util::PoolPtr<const Flight>& fl,
@@ -43,12 +58,85 @@ void TreeMulticastTransport::forward_children(const util::PoolPtr<const Flight>&
   // transmitting -- or charging -- a single downstream hop.
   for (std::size_t c = fl->fanout * pos + 1; c <= fl->fanout * pos + fl->fanout; ++c) {
     if (c >= fl->nodes) break;
+    // The sender's position needs neither the frame (it holds the payload
+    // natively) nor a forwarding trigger (its subtree went out at send
+    // time): the wave flows around it.  Unreachable when the sender is the
+    // root -- every descent position is then a true receiver.
+    if (fl->node_at(c) == fl->src) continue;
+    if (cfg_.batch_window.ns > 0) {
+      enqueue_hop(fl->node_at(pos), fl->node_at(c), fl, c);
+      continue;
+    }
     const sim::SimTime at =
         forward_hop(fl->node_at(pos), fl->node_at(c), fl->wire_bytes, eng_.now());
-    busy_total_ += cfg_.link_tx_time(fl->wire_bytes);
-    fl->account(1);
+    busy_[fl->shard] += cfg_.link_tx_time(fl->wire_bytes);
+    fl->account(1, fl->wire_bytes);
     if (fl->deliver(fl->node_at(c), at)) {
       eng_.schedule_at(at, [this, fl, c] { forward_children(fl, c); });
+    }
+  }
+}
+
+void TreeMulticastTransport::enqueue_hop(NodeId parent, NodeId child,
+                                         const util::PoolPtr<const Flight>& fl,
+                                         std::size_t child_pos) {
+  const std::uint64_t key = edge_key(parent, child);
+  Edge& e = edges_[key];
+  if (e.window_open) {
+    e.q.push_back(PendingHop{fl, child_pos});
+    return;
+  }
+  // Idle edge: the frame leaves at once and opens the window behind it, so
+  // the first frame of a burst -- and every step of a chained round -- pays
+  // no coalescing delay; only the pile-up does.
+  e.window_open = true;
+  eng_.schedule_in(cfg_.batch_window, [this, key] { flush_edge(key); });
+  transmit_hops(parent, child, {PendingHop{fl, child_pos}});
+}
+
+void TreeMulticastTransport::flush_edge(std::uint64_t key) {
+  Edge& e = edges_[key];
+  if (e.q.empty()) {
+    // Nothing arrived while the window was open: the edge goes idle and the
+    // next hop will again leave immediately.
+    e.window_open = false;
+    return;
+  }
+  const std::vector<PendingHop> hops = std::move(e.q);
+  e.q.clear();
+  // Traffic is still flowing on this edge: re-arm the window so a sustained
+  // stream keeps leaving as one combined frame per window.
+  eng_.schedule_in(cfg_.batch_window, [this, key] { flush_edge(key); });
+  transmit_hops(static_cast<NodeId>(key >> 32), static_cast<NodeId>(key & 0xffffffffu), hops);
+}
+
+void TreeMulticastTransport::transmit_hops(NodeId parent, NodeId child,
+                                           const std::vector<PendingHop>& hops) {
+  // One wire frame carries every queued flight's payload across this edge:
+  // concatenated payloads under one set of headers.
+  std::size_t payload_total = 0;
+  for (const PendingHop& h : hops) payload_total += h.fl->payload_bytes;
+  const std::size_t wire = cfg_.wire_bytes(payload_total);
+  const sim::SimTime at = forward_hop(parent, child, wire, eng_.now());
+  busy_[hops.front().fl->shard] += cfg_.link_tx_time(wire);
+
+  // Carrier/rider split (see transport.hpp): riders pay their payload
+  // bytes, the carrier pays the frame, its own payload, and the headers.
+  std::size_t rider_bytes = 0;
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    rider_bytes += hops[i].fl->payload_bytes;
+    hops[i].fl->account(0, hops[i].fl->payload_bytes);
+  }
+  REPSEQ_CHECK(wire >= rider_bytes, "combined frame smaller than its riders' payloads");
+  hops.front().fl->account(1, wire - rider_bytes);
+
+  // Each constituent draws its own loss decision and, surviving, resumes
+  // its own flight's forwarding from the child -- a lost rider prunes only
+  // that flight's subtree, never its frame-mates'.  (A flight never hops
+  // into its own sender: forward_children routes the wave around it.)
+  for (const PendingHop& h : hops) {
+    if (h.fl->deliver(child, at)) {
+      eng_.schedule_at(at, [this, fl = h.fl, c = h.child_pos] { forward_children(fl, c); });
     }
   }
 }

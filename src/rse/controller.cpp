@@ -204,14 +204,24 @@ void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
   }
 
   // Everyone missing the page -- the requester included -- blocks until the
-  // multicast replies make the local copy valid.
+  // multicast replies make the local copy valid.  The retry interval backs
+  // off exponentially: every waiter that times out asks every owner, and
+  // every owner answers with a full multicast, so fixed-interval retries on
+  // a slow transport (the serialized forwarding tree above all) inject
+  // recovery traffic faster than the wire can drain it -- each salvo delays
+  // the very replies the waiters are timing out on, and the storm feeds
+  // itself until the retry budget is exhausted.  Doubling the wait lets the
+  // backlog drain between salvos while keeping the first retry prompt.
   int attempts = 0;
-  while (!rt.wait_page_valid(page, rt.config().rse_wait_timeout)) {
+  sim::SimDuration wait = rt.config().rse_wait_timeout;
+  const sim::SimDuration wait_cap{rt.config().rse_wait_timeout.ns * 64};
+  while (!rt.wait_page_valid(page, wait)) {
     ++attempts;
     ++c.recoveries;
     REPSEQ_CHECK(attempts <= rt.config().max_retries,
                  "RSE recovery retries exhausted for page " + std::to_string(page));
     recover(rt, page);
+    wait = std::min(sim::SimDuration{wait.ns * 2}, wait_cap);
   }
   rt.record_fault_round(t0, /*counted_as_request=*/i_request);
 }

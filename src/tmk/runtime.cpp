@@ -474,8 +474,13 @@ void NodeRuntime::send_raw_unicast(net::Message msg, bool on_server) {
   const auto& ncfg = cluster_.network().config();
   const std::size_t wire = ncfg.wire_bytes(msg.payload_bytes);
   PhaseCounters& c = stats_.for_phase(cluster_.phase());
-  ++c.msgs_sent;
-  c.bytes_sent += wire;
+  // Diff traffic is counted per *logical* protocol message at its standalone
+  // wire size, synchronously: the adaptive policy engine consumes these as
+  // transport-invariant aftermath measures, so they must not vary with the
+  // coalescing window.  Wire frames/bytes, by contrast, follow the wire:
+  // they are charged by the commit callback below, which under a coalescing
+  // backend fires at the window flush with this send's share of the
+  // combined frame (frames may be 0 for a send that rode another's frame).
   if (is_diff_traffic(kind_of(msg))) {
     ++c.diff_msgs_sent;
     c.diff_bytes_sent += wire;
@@ -486,7 +491,10 @@ void NodeRuntime::send_raw_unicast(net::Message msg, bool on_server) {
     cpu_.flush();
     cpu_.compute(ncfg.send_overhead);
   }
-  cluster_.network().unicast(std::move(msg));
+  cluster_.network().unicast(std::move(msg), [&c](std::size_t frames, std::size_t bytes) {
+    c.msgs_sent += frames;
+    c.bytes_sent += bytes;
+  });
 }
 
 void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
@@ -516,8 +524,9 @@ void NodeRuntime::send_raw_multicast(net::Message msg, bool on_server) {
   nw.multicast(std::move(msg), [&c, shard, diff](std::size_t frames, std::size_t bytes) {
     c.msgs_sent += frames;
     c.bytes_sent += bytes;
-    c.shard(shard).mcast_msgs += frames;
-    c.shard(shard).mcast_bytes += bytes;
+    ShardCounters& sc = c.shard_mut(shard);
+    sc.mcast_msgs += frames;
+    sc.mcast_bytes += bytes;
     if (diff) {
       c.diff_msgs_sent += frames;
       c.diff_bytes_sent += bytes;

@@ -59,12 +59,23 @@ struct PhaseCounters {
   sim::SimDuration fault_wait{};
 
   /// Multicast frames/bytes by medium shard (index = shard id; grown on
-  /// demand to the active backend's shard count).
+  /// demand to the active backend's shard count).  Only the charge path
+  /// grows it -- read-side consumers must use shard_peek (or iterate the
+  /// vector) so a lookup of a never-charged shard cannot fabricate a
+  /// phantom empty entry.
   std::vector<ShardCounters> shard_traffic;
 
-  ShardCounters& shard(std::size_t s) {
+  /// Mutating accessor for the charge/merge path: grows the vector to
+  /// cover shard `s`.
+  ShardCounters& shard_mut(std::size_t s) {
     if (shard_traffic.size() <= s) shard_traffic.resize(s + 1);
     return shard_traffic[s];
+  }
+
+  /// Const peek for read-side consumers: a never-charged shard reads as
+  /// zero counters without allocating an entry.
+  [[nodiscard]] ShardCounters shard_peek(std::size_t s) const {
+    return s < shard_traffic.size() ? shard_traffic[s] : ShardCounters{};
   }
 
   void merge(const PhaseCounters& o) {
@@ -80,7 +91,7 @@ struct PhaseCounters {
     response_ms.merge(o.response_ms);
     fault_wait += o.fault_wait;
     for (std::size_t s = 0; s < o.shard_traffic.size(); ++s) {
-      shard(s).merge(o.shard_traffic[s]);
+      shard_mut(s).merge(o.shard_traffic[s]);
     }
   }
 };

@@ -286,7 +286,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          rse::FlowControl::None)),
     [](const ::testing::TestParamInfo<std::tuple<std::size_t, rse::FlowControl>>& info) {
       const rse::FlowControl f = std::get<1>(info.param);
-      std::string name = "S" + std::to_string(std::get<0>(info.param));
+      std::string name = "S";
+      name += std::to_string(std::get<0>(info.param));
       name += f == rse::FlowControl::Chained    ? "Chained"
               : f == rse::FlowControl::Windowed ? "Windowed"
                                                 : "None";
@@ -425,6 +426,49 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+// ---------------------------------------------------------------------------
+// Batch-window invariance: frame coalescing (net::BatchingTransport around
+// the synchronous backends, the piggyback queues inside the forwarding tree)
+// reshapes wire framing and timing -- fewer, fatter frames, windowed flush
+// events -- but the protocol result may never notice.  Checksums and
+// interval vectors must match the unbatched single-hub reference for every
+// window size on all four backends.
+// ---------------------------------------------------------------------------
+
+class BatchWindowSweep : public ::testing::TestWithParam<std::int64_t /*window, us*/> {};
+
+TEST_P(BatchWindowSweep, ChecksumAndIntervalVectorsInvariantAcrossWindows) {
+  const std::int64_t window_us = GetParam();
+  const OrderingAxis ax{SeqMode::Replicated, rse::FlowControl::Chained,
+                        rse::policy::PolicyKind::Greedy};
+
+  net::NetConfig hub;  // unbatched single-hub reference
+  hub.transport = net::TransportKind::HubSwitch;
+  const ShardRunResult ref = run_ordering_workload(hub, ax);
+
+  const auto check = [&](net::TransportKind kind, std::size_t shards, const char* what) {
+    net::NetConfig ncfg;
+    ncfg.transport = kind;
+    ncfg.hub_shards = shards;
+    ncfg.batch_window = sim::microseconds(window_us);
+    const ShardRunResult got = run_ordering_workload(ncfg, ax);
+    EXPECT_EQ(got.checksum, ref.checksum) << what << " w=" << window_us << "us";
+    EXPECT_EQ(got.interval_vectors, ref.interval_vectors) << what << " w=" << window_us << "us";
+  };
+  check(net::TransportKind::HubSwitch, 1, "hub");
+  check(net::TransportKind::ShardedHub, 4, "sharded S=4");
+  check(net::TransportKind::DirectAll, 1, "direct fan-out");
+  check(net::TransportKind::TreeMulticast, 1, "piggybacking tree");
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, BatchWindowSweep, ::testing::Values(50, 500, 5000),
+                         [](const ::testing::TestParamInfo<std::int64_t>& info) {
+                           std::string name = "W";
+                           name += std::to_string(info.param);
+                           name += "us";
+                           return name;
+                         });
 
 // ---------------------------------------------------------------------------
 // Transport invariance at scale: the same protocol guarantee, but at the

@@ -24,12 +24,16 @@ struct LossyWorld {
   std::unique_ptr<ompnow::Team> team;
 
   LossyWorld(std::size_t nodes, FlowControl flow, double loss, std::uint64_t seed,
-             sim::SimDuration wait_timeout = sim::milliseconds(20)) {
+             sim::SimDuration wait_timeout = sim::milliseconds(20),
+             net::TransportKind transport = net::TransportKind::HubSwitch,
+             sim::SimDuration batch_window = {}) {
     cfg.heap_bytes = 1u << 20;
     cfg.rse_wait_timeout = wait_timeout;
     cfg.request_timeout = sim::milliseconds(10);
     ncfg.loss_probability = loss;
     ncfg.loss_seed = seed;
+    ncfg.transport = transport;
+    ncfg.batch_window = batch_window;
     cl = std::make_unique<tmk::Cluster>(cfg, ncfg, nodes);
     rse = std::make_unique<RseController>(*cl, flow);
     team = std::make_unique<ompnow::Team>(*cl, SeqMode::Replicated, rse.get());
@@ -96,19 +100,39 @@ TEST(WatchdogAbandonment, LateCompletingChainDoesNotDoubleFinishRounds) {
   // to call master_round_finished against whatever round (if any) the
   // master had moved on to, tripping "round finish without a round".
   // Surfaced by the 256-node transport-invariance sweep.
+  // The hazard is transport-shaped (an abandoned chain's completion time
+  // depends on the wire model) and batching delays stretch chains past the
+  // watchdog even further, so the scenario runs on every multicast-capable
+  // backend with and without a coalescing window.
   LossyWorld calm(16, FlowControl::Chained, 0.0, 1);
   const long expect = run_workload(calm, 4000);
 
-  LossyWorld hurried(16, FlowControl::Chained, 0.0, 1, sim::microseconds(2000));
-  EXPECT_EQ(run_workload(hurried, 4000), expect);
+  struct Scenario {
+    const char* name;
+    net::TransportKind transport;
+    sim::SimDuration window;
+  };
+  const Scenario scenarios[] = {
+      {"hub", net::TransportKind::HubSwitch, {}},
+      {"hub+batch", net::TransportKind::HubSwitch, sim::microseconds(500)},
+      {"tree", net::TransportKind::TreeMulticast, {}},
+      {"tree+batch", net::TransportKind::TreeMulticast, sim::microseconds(500)},
+      {"sharded", net::TransportKind::ShardedHub, {}},
+      {"sharded+batch", net::TransportKind::ShardedHub, sim::microseconds(500)},
+  };
+  for (const Scenario& s : scenarios) {
+    LossyWorld hurried(16, FlowControl::Chained, 0.0, 1, sim::microseconds(2000), s.transport,
+                       s.window);
+    EXPECT_EQ(run_workload(hurried, 4000), expect) << s.name;
 
-  // The scenario only bites if timeouts actually fired mid-round.
-  std::uint64_t recoveries = 0;
-  for (net::NodeId n = 0; n < 16; ++n) {
-    recoveries += hurried.cl->node(n).stats().seq.recoveries;
-    recoveries += hurried.cl->node(n).stats().par.recoveries;
+    // The scenario only bites if timeouts actually fired mid-round.
+    std::uint64_t recoveries = 0;
+    for (net::NodeId n = 0; n < 16; ++n) {
+      recoveries += hurried.cl->node(n).stats().seq.recoveries;
+      recoveries += hurried.cl->node(n).stats().par.recoveries;
+    }
+    EXPECT_GT(recoveries, 0u) << s.name;
   }
-  EXPECT_GT(recoveries, 0u);
 }
 
 TEST(LossRecoverySeeds, ManySeedsConverge) {
