@@ -2,8 +2,25 @@
 // chained-ack flow control, the projected benefit of a windowed scheme that
 // "allows more concurrency in message delivery", and the strawman with no
 // flow control at all (which overruns receive buffers and falls back to
-// timeout recovery).
+// timeout recovery).  An Adaptive row rides along so the table also carries
+// the per-site policy decision telemetry from the metrics registry.
 #include "bench_common.hpp"
+
+namespace {
+
+/// Formats a RunReport's registry-sourced per-site policy telemetry as
+/// "site:decisions/switches/final ..." ("-" for non-adaptive rows).
+std::string site_policy_cell(const repseq::apps::harness::RunReport& r) {
+  std::string out;
+  for (const auto& sp : r.site_policy) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(sp.site) + ':' + std::to_string(sp.decisions) + '/' +
+           std::to_string(sp.switches) + '/' + sp.final_strategy;
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
 
 int main() {
   using namespace repseq;
@@ -21,29 +38,34 @@ int main() {
 
   struct Row {
     const char* name;
+    Mode mode;
     FlowControl flow;
     std::size_t recv_buffer;
   };
   const Row rows[] = {
-      {"Chained (paper)", FlowControl::Chained, 64},
-      {"Windowed (future work)", FlowControl::Windowed, 64},
-      {"None (strawman)", FlowControl::None, 16},
+      {"Chained (paper)", Mode::Optimized, FlowControl::Chained, 64},
+      {"Windowed (future work)", Mode::Optimized, FlowControl::Windowed, 64},
+      {"None (strawman)", Mode::Optimized, FlowControl::None, 16},
+      {"Adaptive (chained)", Mode::Adaptive, FlowControl::Chained, 64},
   };
 
   util::Table t({"policy", "seq time (s)", "total (s)", "seq msgs", "null acks", "drops",
-                 "recoveries"});
+                 "recoveries", "decisions", "switches", "site:dec/sw/final"});
   double chained_seq = 0;
   double windowed_seq = 0;
   for (const Row& row : rows) {
-    auto opt = options_for(Mode::Optimized);
+    auto opt = options_for(row.mode);
     opt.flow = row.flow;
     opt.net.recv_buffer_msgs = row.recv_buffer;
     const auto r = apps::harness::run_barnes_hut(opt, cfg);
-    if (row.flow == FlowControl::Chained) chained_seq = r.seq_s;
+    if (row.mode == Mode::Optimized && row.flow == FlowControl::Chained) chained_seq = r.seq_s;
     if (row.flow == FlowControl::Windowed) windowed_seq = r.seq_s;
     t.add_row({row.name, fmt2(r.seq_s), fmt2(r.total_s), util::fmt_count(r.seq_msgs),
                util::fmt_count(r.seq_null_acks), util::fmt_count(r.drops),
-               util::fmt_count(r.recoveries)});
+               util::fmt_count(r.recoveries),
+               r.mode == Mode::Adaptive ? util::fmt_count(r.sections) : "-",
+               r.mode == Mode::Adaptive ? util::fmt_count(r.policy_switches) : "-",
+               site_policy_cell(r)});
   }
   std::printf("%s", t.render().c_str());
 
@@ -52,5 +74,7 @@ int main() {
               windowed_seq < chained_seq ? "yes" : "NO", chained_seq, windowed_seq);
   std::printf("  (the paper anticipates exactly this: \"strategies ... will substantially\n"
               "   improve our results\", Section 8)\n");
+  std::printf("  site:dec/sw/final is registry-sourced per-site decision telemetry\n"
+              "  (sections decided / switch points / settled strategy).\n");
   return 0;
 }

@@ -108,7 +108,8 @@ int usage(const char* argv0) {
                "usage: %s [hub|tree|direct|sharded] [shards]\n"
                "          [--mode base|replicated|broadcast|adaptive]\n"
                "          [--policy static|greedy|hysteresis]\n"
-               "          [--batch-window <microseconds>]\n",
+               "          [--batch-window <microseconds>]\n"
+               "          [--trace <path>]   write a Perfetto trace (= REPSEQ_TRACE)\n",
                argv0);
   return 2;
 }
@@ -148,6 +149,11 @@ int main(int argc, char** argv) {
       const auto k = rse::policy::parse_policy(argv[i]);
       if (!k) return usage(argv[0]);
       pcfg.kind = *k;
+    } else if (arg == "--trace") {
+      if (++i >= argc) return usage(argv[0]);
+      // The tracer reads REPSEQ_TRACE at cluster construction, so the flag
+      // just seeds the environment before any cluster exists.
+      ::setenv("REPSEQ_TRACE", argv[i], /*overwrite=*/1);
     } else if (arg == "--batch-window") {
       if (++i >= argc) return usage(argv[0]);
       const auto w = net::parse_batch_window(argv[i]);

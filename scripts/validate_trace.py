@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file emitted by obs::Tracer.
+
+Checks:
+  * the file is well-formed JSON with a traceEvents array
+  * every event carries the required fields for its phase
+  * timestamps are monotone non-decreasing in file order (the writer sorts
+    by virtual time, so any inversion is a tracer bug)
+  * span (B/E) events nest properly per (pid, tid) track: every E matches
+    the innermost open B by name, and no track ends with an open span
+  * optionally (--expect-cats) that named categories actually appear, and
+    (--expect-name) that specific event names appear -- used by CI to pin
+    "spans from all four layers including policy decisions"
+
+Exit codes: 0 clean, 1 validation failure, 2 usage/IO error.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument(
+        "--expect-cats",
+        default="",
+        help="comma-separated categories that must appear (e.g. sim,net,tmk,rse)",
+    )
+    ap.add_argument(
+        "--expect-name",
+        action="append",
+        default=[],
+        help="event name that must appear (repeatable)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"validate_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"not well-formed JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("top-level 'traceEvents' array missing")
+
+    stacks = collections.defaultdict(list)  # (pid, tid) -> [names of open B]
+    cats_seen = set()
+    names_seen = set()
+    counts = collections.Counter()
+    last_ts = None
+    spans = 0
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph is None:
+            fail(f"event #{i} has no phase")
+        counts[ph] += 1
+        if ph == "M":
+            continue  # metadata carries no timestamp
+
+        for field in ("ts", "pid", "tid", "name"):
+            if field not in ev:
+                fail(f"event #{i} ({ph!r}) missing '{field}'")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event #{i} has non-numeric ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"event #{i} ts {ts} < previous ts {last_ts} (not monotone)")
+        last_ts = ts
+
+        cats_seen.update(str(ev.get("cat", "")).split(","))
+        names_seen.add(ev["name"])
+        track = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks[track].append(ev["name"])
+            spans += 1
+        elif ph == "E":
+            if not stacks[track]:
+                fail(f"event #{i}: 'E' ({ev['name']!r}) on track {track} with no open span")
+            opened = stacks[track].pop()
+            if opened != ev["name"]:
+                fail(
+                    f"event #{i}: 'E' named {ev['name']!r} closes span opened as"
+                    f" {opened!r} on track {track} (improper nesting)"
+                )
+        elif ph in ("i", "I"):
+            pass
+        elif ph == "C":
+            pass
+        else:
+            fail(f"event #{i} has unsupported phase {ph!r}")
+
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"track {track} ends with open span(s): {stack}")
+
+    if args.expect_cats:
+        missing = {c for c in args.expect_cats.split(",") if c} - cats_seen
+        if missing:
+            fail(f"expected categories never appeared: {sorted(missing)}")
+    for name in args.expect_name:
+        if name not in names_seen:
+            fail(f"expected event name never appeared: {name!r}")
+
+    print(
+        f"validate_trace: OK: {len(events)} events"
+        f" ({spans} spans, {counts['i'] + counts['I']} instants,"
+        f" {counts['C']} counter samples, {counts['M']} metadata)"
+        f" across {len(stacks)} tracks; categories: {sorted(c for c in cats_seen if c)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -132,6 +132,26 @@ struct Bench {
       r.decisions = policy->decisions();
     }
 
+    // Per-site telemetry from the metrics registry (PolicyEngine records a
+    // labeled counter per decision; see policy_engine.cpp).
+    const obs::Registry& m = cluster->metrics();
+    for (const std::string& site : m.label_values("policy_decisions", "site")) {
+      RunReport::SitePolicy sp;
+      sp.site = static_cast<std::uint32_t>(std::stoul(site));
+      for (std::size_t s = 0; s < rse::policy::kStrategyCount; ++s) {
+        const char* strat = rse::policy::strategy_name(static_cast<rse::policy::SectionStrategy>(s));
+        sp.decisions += m.counter_value("policy_decisions", {{"site", site}, {"strategy", strat}});
+      }
+      sp.switches = m.counter_value("policy_switches", {{"site", site}});
+      sp.final_strategy = rse::policy::strategy_name(static_cast<rse::policy::SectionStrategy>(
+          static_cast<std::size_t>(m.gauge_value("policy_final_strategy", {{"site", site}}))));
+      r.site_policy.push_back(std::move(sp));
+    }
+    std::sort(r.site_policy.begin(), r.site_policy.end(),
+              [](const RunReport::SitePolicy& a, const RunReport::SitePolicy& b) {
+                return a.site < b.site;
+              });
+
     // "diff requests": for sequential sections the paper counts the single
     // most-faulting thread (the master in the original system); for
     // parallel sections the per-thread average.

@@ -91,6 +91,17 @@ struct RunReport {
   /// close-time reporting telemetry).
   std::vector<rse::policy::Decision> decisions;
 
+  /// Per-site decision telemetry, sourced from the cluster's metrics
+  /// registry (obs::Registry) rather than PhaseCounters: one row per
+  /// decision site, numerically ordered.  Empty outside Mode::Adaptive.
+  struct SitePolicy {
+    std::uint32_t site = 0;
+    std::uint64_t decisions = 0;    // sections decided at this site
+    std::uint64_t switches = 0;     // switch points at this site
+    std::string final_strategy;     // the strategy the site settled on
+  };
+  std::vector<SitePolicy> site_policy;
+
   double checksum = 0;  // application result for cross-mode verification
   std::uint64_t aux = 0;
 

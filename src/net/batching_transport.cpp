@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::net {
@@ -42,6 +43,12 @@ void BatchingTransport::enqueue(std::uint64_t key, bool is_multicast, const Mess
   // it, so the first frame of a burst -- and every step of a chained round
   // -- pays no coalescing delay; only the pile-up does.
   q.window_open = true;
+  if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Net, eng_.now(), static_cast<std::int32_t>(msg.src) + 1,
+                          "net-batch", "window-open",
+                          {{"key", static_cast<double>(key)},
+                           {"window_ns", static_cast<double>(cfg_.batch_window.ns)}});
+  }
   eng_.schedule_in(cfg_.batch_window, [this, key, is_multicast] { flush(key, is_multicast); });
   transmit(is_multicast, {Pending{msg, deliver, account}});
 }
@@ -72,6 +79,14 @@ void BatchingTransport::transmit(bool is_multicast, const std::vector<Pending>& 
   for (const Pending& p : batch) payload_total += p.msg.payload_bytes;
   combined.payload_bytes = payload_total;
   const std::size_t combined_wire = cfg_.wire_bytes(payload_total);
+  if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Net, eng_.now(),
+                          static_cast<std::int32_t>(combined.src) + 1, "net-batch",
+                          "batch-commit",
+                          {{"coalesced", static_cast<double>(batch.size())},
+                           {"wire_bytes", static_cast<double>(combined_wire)},
+                           {"mcast", is_multicast ? 1.0 : 0.0}});
+  }
 
   // The inner backend is synchronous on this path (unicast everywhere;
   // multicast only for non-deferring backends), so the committed totals are

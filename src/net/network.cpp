@@ -1,5 +1,6 @@
 #include "net/network.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::net {
@@ -31,6 +32,13 @@ std::uint64_t Network::unicast(Message msg, SendAccount account) {
   msg.id = next_id_++;
   const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
   if (tap_) tap_(msg, wire, /*is_multicast=*/false);
+  if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Net, eng_.now(), static_cast<std::int32_t>(msg.src) + 1,
+                          "net", "unicast",
+                          {{"dst", static_cast<double>(msg.dst)},
+                           {"wire_bytes", static_cast<double>(wire)},
+                           {"kind", static_cast<double>(msg.kind)}});
+  }
   const sim::SimTime sent = eng_.now();
 
   if (!transport_->defers_delivery()) {
@@ -97,6 +105,12 @@ bool Network::lose_frame(const Message& msg) {
   if (cfg_.loss_probability > 0.0 && (!lossable_ || lossable_(msg)) &&
       loss_rng_.chance(cfg_.loss_probability)) {
     ++losses_injected_;
+    if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+      obs::tracer().instant(obs::Cat::Net, eng_.now(), 0, "net", "loss-drop",
+                            {{"src", static_cast<double>(msg.src)},
+                             {"dst", static_cast<double>(msg.dst)},
+                             {"kind", static_cast<double>(msg.kind)}});
+    }
     return true;
   }
   return false;
@@ -108,6 +122,13 @@ std::uint64_t Network::multicast(Message msg, SendAccount account) {
   msg.id = next_id_++;
   const std::size_t wire = cfg_.wire_bytes(msg.payload_bytes);
   if (tap_) tap_(msg, wire, /*is_multicast=*/true);
+  if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Net, eng_.now(), static_cast<std::int32_t>(msg.src) + 1,
+                          "net", "multicast",
+                          {{"group", static_cast<double>(msg.mcast_group)},
+                           {"wire_bytes", static_cast<double>(wire)},
+                           {"kind", static_cast<double>(msg.kind)}});
+  }
   const sim::SimTime sent = eng_.now();
 
   // Frame accounting is backend-dependent: a true multicast medium carries

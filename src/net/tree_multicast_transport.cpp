@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/pool_ptr.hpp"
 
@@ -69,6 +70,13 @@ void TreeMulticastTransport::forward_children(const util::PoolPtr<const Flight>&
     }
     const sim::SimTime at =
         forward_hop(fl->node_at(pos), fl->node_at(c), fl->wire_bytes, eng_.now());
+    if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+      obs::tracer().instant(obs::Cat::Net, eng_.now(),
+                            static_cast<std::int32_t>(fl->node_at(pos)) + 1, "net-tree",
+                            "tree-hop",
+                            {{"child", static_cast<double>(fl->node_at(c))},
+                             {"wire_bytes", static_cast<double>(fl->wire_bytes)}});
+    }
     busy_[fl->shard] += cfg_.link_tx_time(fl->wire_bytes);
     fl->account(1, fl->wire_bytes);
     if (fl->deliver(fl->node_at(c), at)) {
@@ -118,6 +126,13 @@ void TreeMulticastTransport::transmit_hops(NodeId parent, NodeId child,
   for (const PendingHop& h : hops) payload_total += h.fl->payload_bytes;
   const std::size_t wire = cfg_.wire_bytes(payload_total);
   const sim::SimTime at = forward_hop(parent, child, wire, eng_.now());
+  if (obs::enabled(obs::Cat::Net)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Net, eng_.now(), static_cast<std::int32_t>(parent) + 1,
+                          "net-tree", "tree-hop",
+                          {{"child", static_cast<double>(child)},
+                           {"coalesced", static_cast<double>(hops.size())},
+                           {"wire_bytes", static_cast<double>(wire)}});
+  }
   busy_[hops.front().fl->shard] += cfg_.link_tx_time(wire);
 
   // Carrier/rider split (see transport.hpp): riders pay their payload

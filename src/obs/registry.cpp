@@ -1,0 +1,70 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace repseq::obs {
+
+Registry::Key Registry::make_key(const std::string& name, Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return {name, std::move(labels)};
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return counters_[make_key(name, std::move(labels))];
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return gauges_[make_key(name, std::move(labels))];
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels) {
+  return histograms_[make_key(name, std::move(labels))];
+}
+
+std::vector<Registry::Series> Registry::snapshot() const {
+  std::vector<Series> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, c] : counters_) {
+    out.push_back({key.first, key.second, Series::Kind::Counter, c.value(), 0.0, nullptr});
+  }
+  for (const auto& [key, g] : gauges_) {
+    out.push_back({key.first, key.second, Series::Kind::Gauge, 0, g.value(), nullptr});
+  }
+  for (const auto& [key, h] : histograms_) {
+    out.push_back({key.first, key.second, Series::Kind::Histogram, 0, 0.0, &h.accum()});
+  }
+  std::sort(out.begin(), out.end(), [](const Series& a, const Series& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  });
+  return out;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name, Labels labels) const {
+  const auto it = counters_.find(make_key(name, std::move(labels)));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double Registry::gauge_value(const std::string& name, Labels labels) const {
+  const auto it = gauges_.find(make_key(name, std::move(labels)));
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+std::vector<std::string> Registry::label_values(const std::string& name,
+                                                const std::string& label) const {
+  std::set<std::string> values;
+  const auto scan = [&](const auto& series) {
+    for (const auto& [key, unused] : series) {
+      if (key.first != name) continue;
+      for (const auto& [k, v] : key.second) {
+        if (k == label) values.insert(v);
+      }
+    }
+  };
+  scan(counters_);
+  scan(gauges_);
+  scan(histograms_);
+  return {values.begin(), values.end()};
+}
+
+}  // namespace repseq::obs

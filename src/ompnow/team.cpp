@@ -1,5 +1,6 @@
 #include "ompnow/team.hpp"
 
+#include "obs/trace.hpp"
 #include "rse/alternatives.hpp"
 #include "util/check.hpp"
 
@@ -145,6 +146,12 @@ void Team::sequential(std::uint32_t site, std::function<void(const Ctx&)> body) 
     }
   }
 
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().begin(obs::Cat::Rse, cluster_.engine().now(), 1, "master", "seq-section",
+                        {{"site", static_cast<double>(site)},
+                         {"strategy", static_cast<double>(static_cast<int>(eff))},
+                         {"section", static_cast<double>(seq_sections_)}});
+  }
   switch (eff) {
     case SeqMode::MasterOnly:
       seq_master_only(body);
@@ -160,6 +167,9 @@ void Team::sequential(std::uint32_t site, std::function<void(const Ctx&)> body) 
       break;
   }
   if (seq_mode_ == SeqMode::Adaptive) policy_->close_section(cluster_.node(0));
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(), 1, "master");
+  }
   seq_time_ += cluster_.engine().now() - t0;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::rse {
@@ -16,6 +18,12 @@ constexpr sim::SimDuration kPerEntryCost{120};
 using tmk::MsgKind;
 using tmk::PageId;
 using tmk::PageProt;
+
+/// Track carrying one shard's master rounds: round_in_flight serializes
+/// them, so B/E pairs on it always alternate and nest trivially.
+const char* shard_track(std::size_t shard) {
+  return obs::tracer().intern("rse-round-shard" + std::to_string(shard));
+}
 }  // namespace
 
 RseController::RseController(tmk::Cluster& cluster, FlowControl flow)
@@ -57,6 +65,10 @@ tmk::ValidNoticesP RseController::local_valid_notices(tmk::NodeRuntime& rt) cons
 }
 
 void RseController::enter(tmk::NodeRuntime& rt) {
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().begin(obs::Cat::Rse, cluster_.engine().now(),
+                        static_cast<std::int32_t>(rt.id()) + 1, "app", "rse-bracket");
+  }
   // "A join before a replicated sequential section behaves like a barrier"
   // (Section 5.2): all threads align and receive the usual consistency
   // information.
@@ -139,6 +151,10 @@ void RseController::exit(tmk::NodeRuntime& rt) {
   // exchanged" (Section 5.2).  No intervals closed during the section, so
   // this barrier carries no notices.
   rt.barrier(kExitBarrier);
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(),
+                      static_cast<std::int32_t>(rt.id()) + 1, "app");
+  }
 }
 
 std::optional<net::NodeId> RseController::elected_requester(const NodeState& st,
@@ -180,6 +196,10 @@ void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
   rt.charge(rt.config().fault_overhead);
   rt.cpu().flush();
   const sim::SimTime t0 = cluster_.engine().now();
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().begin(obs::Cat::Rse, t0, static_cast<std::int32_t>(rt.id()) + 1, "app",
+                        "rse-fault", {{"page", static_cast<double>(page)}});
+  }
 
   const auto requester = elected_requester(st, page);
   const bool i_request = requester.has_value() && *requester == rt.id();
@@ -218,10 +238,23 @@ void RseController::on_fault(tmk::NodeRuntime& rt, PageId page) {
   while (!rt.wait_page_valid(page, wait)) {
     ++attempts;
     ++c.recoveries;
+    if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+      // Backoff level = attempts; wait_ns is the doubled interval the next
+      // wait will use -- exactly the retry-storm signature of PR 6.
+      obs::tracer().instant(obs::Cat::Rse, cluster_.engine().now(),
+                            static_cast<std::int32_t>(rt.id()) + 1, "app", "recovery-retry",
+                            {{"page", static_cast<double>(page)},
+                             {"attempt", static_cast<double>(attempts)},
+                             {"wait_ns", static_cast<double>(wait.ns)}});
+    }
     REPSEQ_CHECK(attempts <= rt.config().max_retries,
                  "RSE recovery retries exhausted for page " + std::to_string(page));
     recover(rt, page);
     wait = std::min(sim::SimDuration{wait.ns * 2}, wait_cap);
+  }
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(),
+                      static_cast<std::int32_t>(rt.id()) + 1, "app");
   }
   rt.record_fault_round(t0, /*counted_as_request=*/i_request);
 }
@@ -260,6 +293,14 @@ void RseController::master_start_next(tmk::NodeRuntime& master, std::size_t shar
     ms.awaiting_replies.clear();
     for (const auto& [owner, _] : req.wanted) ms.awaiting_replies.push_back(owner);
   }
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().begin(obs::Cat::Rse, cluster_.engine().now(), 1, shard_track(shard),
+                        "round",
+                        {{"round", static_cast<double>(req.round)},
+                         {"page", static_cast<double>(req.page)},
+                         {"requester", static_cast<double>(req.requester)},
+                         {"queued", static_cast<double>(ms.queue.size())}});
+  }
   master.send_multicast(MsgKind::McastDiffRequest, req, on_server, /*group=*/req.page);
   begin_round(master, req, on_server);  // the master never receives its own frame
 
@@ -271,6 +312,15 @@ void RseController::master_start_next(tmk::NodeRuntime& master, std::size_t shar
   ms.round_watchdog =
       cluster_.engine().schedule_in(master.config().rse_wait_timeout, [this, round_no, shard] {
         MasterShard& m = master_shard(shard);
+        if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+          obs::tracer().instant(obs::Cat::Rse, cluster_.engine().now(), 1, "watchdog",
+                                "watchdog-tick",
+                                {{"round", static_cast<double>(round_no)},
+                                 {"shard", static_cast<double>(shard)},
+                                 {"fires", m.round_in_flight && m.active_round == round_no
+                                               ? 1.0
+                                               : 0.0}});
+        }
         if (m.round_in_flight && m.active_round == round_no) {
           cluster_.network().nic(0).inbox().push(tmk::make_message(
               MsgKind::RseRoundTick, 0, 0,
@@ -283,6 +333,9 @@ void RseController::master_round_finished(tmk::NodeRuntime& master, std::size_t 
                                           bool on_server) {
   MasterShard& ms = master_shard(shard);
   REPSEQ_CHECK(ms.round_in_flight, "round finish without a round");
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(), 1, shard_track(shard));
+  }
   ms.round_in_flight = false;
   if (ms.round_watchdog) {
     cluster_.engine().cancel(ms.round_watchdog);
@@ -506,6 +559,12 @@ void RseController::register_handlers(tmk::ProtocolEngine& engine) {
       const auto& tick = msg.as<tmk::RseRoundTickP>();
       MasterShard& ms = master_shard(tick.shard);
       if (ms.round_in_flight && ms.active_round == tick.round) {
+        if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+          obs::tracer().instant(obs::Cat::Rse, cluster_.engine().now(), 1, "watchdog",
+                                "round-abandon",
+                                {{"round", static_cast<double>(tick.round)},
+                                 {"shard", static_cast<double>(tick.shard)}});
+        }
         master_round_finished(rt, tick.shard, /*on_server=*/true);
       }
     });

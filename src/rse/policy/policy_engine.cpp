@@ -3,6 +3,7 @@
 #include <set>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::rse::policy {
@@ -183,6 +184,40 @@ SectionStrategy PolicyEngine::open_section(tmk::NodeRuntime& master, std::uint32
   d.strategy = chosen;
   d.switched = switched;
   log_[0].push_back(d);
+
+  // Registry: the per-site decision telemetry the sweep tables consume.
+  {
+    obs::Registry& m = cluster_.metrics();
+    const std::string site_label = std::to_string(site);
+    m.counter("policy_decisions", {{"site", site_label}, {"strategy", strategy_name(chosen)}})
+        .inc();
+    if (switched) m.counter("policy_switches", {{"site", site_label}}).inc();
+    m.gauge("policy_final_strategy", {{"site", site_label}})
+        .set(static_cast<double>(static_cast<std::size_t>(chosen)));
+  }
+  if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
+    // The decision with its full cost-model inputs: the profile the costs
+    // were computed from plus the per-strategy costs themselves (recomputed
+    // here -- decide() keeps them internal -- and meaningful once the site
+    // has a measured profile).
+    const bool modeled = cfg_.kind != PolicyKind::Static && st.profile.runs > 0;
+    obs::tracer().instant(
+        obs::Cat::Rse, cluster_.engine().now(), 1, "policy", "decision",
+        {{"seq", static_cast<double>(d.seq)},
+         {"site", static_cast<double>(site)},
+         {"strategy", static_cast<double>(static_cast<std::size_t>(chosen))},
+         {"switched", switched ? 1.0 : 0.0},
+         {"pinned", pin != cfg_.pins.end() ? 1.0 : 0.0},
+         {"runs", static_cast<double>(st.profile.runs)},
+         {"pages_written", st.profile.pages_written},
+         {"faults_in", st.profile.faults_in},
+         {"cost_master_only",
+          modeled ? model_.cost(SectionStrategy::MasterOnly, st.profile) : 0.0},
+         {"cost_replicated",
+          modeled ? model_.cost(SectionStrategy::Replicated, st.profile) : 0.0},
+         {"cost_broadcast",
+          modeled ? model_.cost(SectionStrategy::BroadcastAfter, st.profile) : 0.0}});
+  }
   if (cluster_.node_count() > 1) {
     master.send_multicast(tmk::MsgKind::PolicySectionOpen,
                           tmk::PolicySectionOpenP{d.seq, site,
@@ -243,6 +278,10 @@ void PolicyEngine::close_section(tmk::NodeRuntime& master) {
   Decision& d = log_[0].back();
   d.section_s = (cluster_.engine().now() - open_t0_).seconds();
   d.mcast_kb = static_cast<double>(total_seq_mcast_bytes() - snap_mcast_bytes_) / 1024.0;
+  cluster_.metrics()
+      .histogram("section_seconds", {{"site", std::to_string(open_site_)},
+                                     {"strategy", strategy_name(open_strategy_)}})
+      .observe(d.section_s);
 
   aftermath_pending_ = true;
   aftermath_site_ = open_site_;

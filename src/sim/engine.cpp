@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::sim {
@@ -21,6 +22,10 @@ void Engine::drain_runnable() {
     FiberRef f = runnable_.front();
     runnable_.pop_front();
     if (f->finished()) continue;  // duplicate wake after completion
+    if (obs::enabled(obs::Cat::Sim)) [[unlikely]] {
+      obs::tracer().instant(obs::Cat::Sim, now_, f->trace_pid(), "sched",
+                            obs::tracer().intern(f->name()));
+    }
     f->resume();
     if (f->finished()) {
       f->rethrow_if_failed();
@@ -37,6 +42,13 @@ void Engine::run() {
     REPSEQ_CHECK(e.time >= now_, "event scheduled in the past");
     now_ = e.time;
     ++events_executed_;
+    if (obs::enabled(obs::Cat::Sim)) [[unlikely]] {
+      // Sampled, not per-event: the depth curve matters, not every step.
+      if ((events_executed_ & 255u) == 0) {
+        obs::tracer().counter(obs::Cat::Sim, now_, 0, "eventq-depth",
+                              static_cast<double>(events_.live_count()));
+      }
+    }
     e.fn();
     drain_runnable();
   }

@@ -28,6 +28,7 @@
 #endif
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -68,6 +69,12 @@ class Fiber {
   void set_user_data(void* p) { user_data_ = p; }
   [[nodiscard]] void* user_data() const { return user_data_; }
 
+  /// Perfetto process this fiber's trace events belong to (node id + 1; 0 =
+  /// the cluster-global process).  Set alongside user_data by the DSM layer;
+  /// kept separate because the engine cannot interpret user_data.
+  void set_trace_pid(std::int32_t pid) { trace_pid_ = pid; }
+  [[nodiscard]] std::int32_t trace_pid() const { return trace_pid_; }
+
   /// Rethrows the exception (if any) that escaped the fiber body.
   void rethrow_if_failed();
 
@@ -98,6 +105,7 @@ class Fiber {
   bool finished_ = false;
   std::exception_ptr failure_{};
   void* user_data_ = nullptr;
+  std::int32_t trace_pid_ = 0;
 };
 
 }  // namespace repseq::sim

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <set>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repseq::tmk {
@@ -181,6 +182,12 @@ void NodeRuntime::end_interval() {
   if (current_dirty_.empty()) return;
   vc_.bump(id_);
   const std::uint32_t idx = vc_.at(id_);
+  if (obs::enabled(obs::Cat::Tmk)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Tmk, cluster_.engine().now(),
+                          static_cast<std::int32_t>(id_) + 1, "tmk", "interval-commit",
+                          {{"idx", static_cast<double>(idx)},
+                           {"pages", static_cast<double>(current_dirty_.size())}});
+  }
   auto rec = util::make_pooled<IntervalRecord>();
   rec->owner = id_;
   rec->index = idx;
@@ -246,6 +253,13 @@ void NodeRuntime::flush_diff(PageId p, bool on_server) {
 
   DiffPtr diff = util::make_pooled<Diff>(Diff::create({ps.twin.get(), pb}, page_span(p)));
 
+  if (obs::enabled(obs::Cat::Tmk)) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Tmk, cluster_.engine().now(),
+                          static_cast<std::int32_t>(id_) + 1, "tmk", "diff-create",
+                          {{"page", static_cast<double>(p)},
+                           {"wire_bytes", static_cast<double>(diff->wire_bytes())},
+                           {"on_server", on_server ? 1.0 : 0.0}});
+  }
   REPSEQ_PAGE_TRACE(p, "flush_diff open=%zu dirty=%d vc_self=%u", ps.open_intervals.size(),
                     ps.dirty_in_current ? 1 : 0, vc_.at(id_));
   // Coverage rule.  The diff carries every modification since the twin was
@@ -373,6 +387,13 @@ void NodeRuntime::apply_packets_causally(std::vector<DiffPacket> pkts, bool on_s
     touched.insert(pkt.page);
     bytes += pkt.wire_bytes();
   }
+  if (obs::enabled(obs::Cat::Tmk) && !pkts.empty()) [[unlikely]] {
+    obs::tracer().instant(obs::Cat::Tmk, cluster_.engine().now(),
+                          static_cast<std::int32_t>(id_) + 1, "tmk", "diff-apply",
+                          {{"packets", static_cast<double>(pkts.size())},
+                           {"bytes", static_cast<double>(bytes)},
+                           {"on_server", on_server ? 1.0 : 0.0}});
+  }
   const sim::SimDuration cost = config().diff_apply_fixed * static_cast<std::int64_t>(pkts.size()) +
                                 per_byte(config().diff_apply_ns_per_byte, bytes);
   if (on_server) {
@@ -422,6 +443,12 @@ void NodeRuntime::fault_in_page(PageId p) {
   charge(config().fault_overhead);
   cpu_.flush();
   const sim::SimTime t0 = cluster_.engine().now();
+  if (obs::enabled(obs::Cat::Tmk)) [[unlikely]] {
+    obs::tracer().begin(obs::Cat::Tmk, t0, static_cast<std::int32_t>(id_) + 1, "app",
+                        "page-fault",
+                        {{"page", static_cast<double>(p)},
+                         {"pending", static_cast<double>(ps.pending.size())}});
+  }
 
   // Outer loop: in rare interleavings a new write notice arrives while the
   // fetched diffs are being applied; the page is then still invalid and the
@@ -451,6 +478,13 @@ void NodeRuntime::fault_in_page(PageId p) {
       if (!msg) {
         ++retries;
         ++c.recoveries;
+        if (obs::enabled(obs::Cat::Tmk)) [[unlikely]] {
+          obs::tracer().instant(obs::Cat::Tmk, cluster_.engine().now(),
+                                static_cast<std::int32_t>(id_) + 1, "app", "fault-retry",
+                                {{"page", static_cast<double>(p)},
+                                 {"retry", static_cast<double>(retries)},
+                                 {"outstanding", static_cast<double>(outstanding.size())}});
+        }
         REPSEQ_CHECK(retries <= config().max_retries,
                      "diff request retries exhausted for page " + std::to_string(p));
         send_requests(outstanding);
@@ -462,6 +496,10 @@ void NodeRuntime::fault_in_page(PageId p) {
     }
     drop_reply_slot(req_id);
     apply_packets_causally(std::move(collected), /*on_server=*/false);
+  }
+  if (obs::enabled(obs::Cat::Tmk)) [[unlikely]] {
+    obs::tracer().end(obs::Cat::Tmk, cluster_.engine().now(),
+                      static_cast<std::int32_t>(id_) + 1, "app");
   }
   record_fault_round(t0, /*counted_as_request=*/true);
 }
@@ -884,9 +922,21 @@ Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
   for (NodeId n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(*this, n));
   }
+  // Tracing is (re)configured per cluster so sweeps and tests can flip
+  // REPSEQ_TRACE between runs; the trace is written when the cluster dies.
+  obs::tracer().configure_from_env();
+  if (obs::tracer().active()) {
+    obs::tracer().set_process_name(0, "cluster");
+    for (NodeId n = 0; n < nodes; ++n) {
+      obs::tracer().set_process_name(static_cast<std::int32_t>(n) + 1,
+                                     "node-" + std::to_string(n));
+    }
+  }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  if (obs::tracer().active()) obs::tracer().write();
+}
 
 void Cluster::set_rse_hooks(RseHooks* hooks) {
   REPSEQ_CHECK(rse_hooks_ == nullptr, "RSE hooks already attached to this cluster");
@@ -920,17 +970,20 @@ sim::SimDuration Cluster::run(std::function<void(NodeRuntime&)> master_program) 
     sim::FiberRef f = engine_.spawn("dispatch-" + std::to_string(rt->id()),
                                     [rt] { rt->dispatcher_loop(); });
     f->set_user_data(rt);
+    f->set_trace_pid(static_cast<std::int32_t>(rt->id()) + 1);
   }
   for (std::size_t n = 1; n < nodes_.size(); ++n) {
     NodeRuntime* rt = nodes_[n].get();
     sim::FiberRef f =
         engine_.spawn("slave-" + std::to_string(n), [rt] { rt->slave_loop(); });
     f->set_user_data(rt);
+    f->set_trace_pid(static_cast<std::int32_t>(n) + 1);
   }
   NodeRuntime* master = nodes_[0].get();
   sim::FiberRef f = engine_.spawn(
       "master", [master, program = std::move(master_program)] { program(*master); });
   f->set_user_data(master);
+  f->set_trace_pid(1);
   engine_.run();
   return engine_.now() - start;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/registry.hpp"
 #include "sim/channel.hpp"
 #include "sim/cpu.hpp"
 #include "sim/engine.hpp"
@@ -318,6 +319,12 @@ class Cluster {
   /// Aggregate statistics over all nodes.
   [[nodiscard]] PhaseCounters total(Phase p) const;
 
+  /// The run's labeled metrics registry (counters/gauges/histograms).  New
+  /// telemetry goes here instead of growing PhaseCounters by hand; one
+  /// registry per cluster keeps sweep runs isolated.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
   /// Per-shard multicast occupancy over the whole run (both phases):
   /// frames/bytes charged by the protocol layer plus medium busy time from
   /// the transport.  Size equals the backend's shard count.
@@ -344,6 +351,7 @@ class Cluster {
   std::vector<std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<std::function<void(NodeRuntime&)>> work_table_;
   ProtocolEngine protocol_;
+  obs::Registry metrics_;
   Phase phase_ = Phase::Sequential;
   RseHooks* rse_hooks_ = nullptr;
   bool ran_ = false;

@@ -6,10 +6,14 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace repseq::util {
 
-/// Streaming mean / min / max / variance (Welford) accumulator.
+/// Streaming mean / min / max / variance (Welford) accumulator, plus
+/// streaming quantiles from a log2 histogram (8 sub-buckets per octave,
+/// ~6% relative error) allocated lazily on first add so empty accumulators
+/// stay a few words.  Exactly mergeable bucket-wise, like the moments.
 class Accumulator {
  public:
   void add(double x) {
@@ -20,6 +24,8 @@ class Accumulator {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
     sum_ += x;
+    if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+    ++buckets_[bucket_index(x)];
   }
 
   [[nodiscard]] std::uint64_t count() const { return n_; }
@@ -31,6 +37,31 @@ class Accumulator {
     return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// Streaming quantile estimate, q in [0, 1].  Walks the log2 histogram to
+  /// the q-th rank and returns that bucket's geometric midpoint, clamped to
+  /// the observed [min, max]; exact at the extremes, ~6% relative error in
+  /// between (half a sub-bucket).
+  [[nodiscard]] double percentile(double q) const {
+    if (n_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    const double target = q * static_cast<double>(n_ - 1);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      cum += buckets_[i];
+      if (static_cast<double>(cum) > target) {
+        // Bucket 0 absorbs zero/negative/sub-range samples; its midpoint is
+        // meaningless, so it reports the exact observed minimum instead.
+        return i == 0 ? min_ : std::clamp(bucket_value(i), min_, max_);
+      }
+    }
+    return max_;
+  }
+
+  [[nodiscard]] double p50() const { return percentile(0.50); }
+  [[nodiscard]] double p95() const { return percentile(0.95); }
+  [[nodiscard]] double p99() const { return percentile(0.99); }
 
   /// Merges another accumulator into this one (parallel reduction of stats).
   void merge(const Accumulator& o) {
@@ -50,15 +81,44 @@ class Accumulator {
     sum_ += o.sum_;
     min_ = std::min(min_, o.min_);
     max_ = std::max(max_, o.max_);
+    if (buckets_.empty()) buckets_.assign(kBuckets, 0);
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
   }
 
  private:
+  // Log2 histogram layout: exponents clamped to [kMinExp, kMaxExp), kSub
+  // sub-buckets per octave from the mantissa.  Bucket 0 additionally absorbs
+  // zero, negative, and sub-2^kMinExp values, which rank below everything
+  // the layers actually record (times, bytes, counts are non-negative).
+  static constexpr int kMinExp = -32;
+  static constexpr int kMaxExp = 64;
+  static constexpr std::size_t kSub = 8;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMaxExp - kMinExp) * kSub;
+
+  [[nodiscard]] static std::size_t bucket_index(double x) {
+    if (!(x > 0.0) || !std::isfinite(x)) return 0;
+    int e = 0;
+    const double m = std::frexp(x, &e);  // m in [0.5, 1)
+    e = std::clamp(e, kMinExp, kMaxExp - 1);
+    const auto sub = static_cast<std::size_t>((m - 0.5) * 2.0 * static_cast<double>(kSub));
+    return static_cast<std::size_t>(e - kMinExp) * kSub + std::min(sub, kSub - 1);
+  }
+
+  [[nodiscard]] static double bucket_value(std::size_t i) {
+    const int e = static_cast<int>(i / kSub) + kMinExp;
+    const double m =
+        0.5 + (static_cast<double>(i % kSub) + 0.5) / (2.0 * static_cast<double>(kSub));
+    return std::ldexp(m, e);
+  }
+
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint32_t> buckets_;
 };
 
 }  // namespace repseq::util

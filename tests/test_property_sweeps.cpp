@@ -4,7 +4,9 @@
 // page boundaries must behave like plain ones.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -469,6 +471,76 @@ INSTANTIATE_TEST_SUITE_P(Windows, BatchWindowSweep, ::testing::Values(50, 500, 5
                            name += "us";
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Trace invariance: the observability layer keys everything to virtual time
+// and never schedules events of its own, so recording a full trace
+// (REPSEQ_TRACE set, all categories) may not perturb a single protocol
+// decision.  Checksums and interval vectors must be bit-identical with the
+// tracer on vs off, on all four wire backends, batched and unbatched -- the
+// adaptive workload also drags the policy-decision and registry hooks
+// through the comparison.
+// ---------------------------------------------------------------------------
+
+struct TraceAxis {
+  net::TransportKind kind;
+  std::size_t shards;
+  std::int64_t window_us;
+};
+
+class TraceInvarianceSweep : public ::testing::TestWithParam<TraceAxis> {};
+
+TEST_P(TraceInvarianceSweep, TracingDoesNotPerturbChecksumOrIntervalVectors) {
+  const TraceAxis& ax = GetParam();
+  const OrderingAxis work{SeqMode::Adaptive, rse::FlowControl::Chained,
+                          rse::policy::PolicyKind::Greedy};
+  net::NetConfig ncfg;
+  ncfg.transport = ax.kind;
+  ncfg.hub_shards = ax.shards;
+  ncfg.batch_window = sim::microseconds(ax.window_us);
+
+  // The Cluster constructor reads REPSEQ_TRACE, like REPSEQ_EVENTQ above.
+  ::unsetenv("REPSEQ_TRACE");
+  const ShardRunResult off = run_ordering_workload(ncfg, work);
+
+  const std::string path = std::string("/tmp/repseq_trace_invariance_") +
+                           std::to_string(static_cast<int>(ax.kind)) + "_" +
+                           std::to_string(ax.window_us) + ".json";
+  ::setenv("REPSEQ_TRACE", path.c_str(), 1);
+  const ShardRunResult on = run_ordering_workload(ncfg, work);
+  ::unsetenv("REPSEQ_TRACE");
+
+  EXPECT_EQ(on.checksum, off.checksum);
+  EXPECT_EQ(on.interval_vectors, off.interval_vectors);
+
+  // The traced run must actually have written a trace (cluster destruction
+  // flushes the ring to the file).
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "trace file missing: " << path;
+  std::string head;
+  std::getline(in, head);
+  EXPECT_NE(head.find("traceEvents"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportsByWindow, TraceInvarianceSweep,
+    ::testing::Values(TraceAxis{net::TransportKind::HubSwitch, 1, 0},
+                      TraceAxis{net::TransportKind::HubSwitch, 1, 500},
+                      TraceAxis{net::TransportKind::ShardedHub, 4, 500},
+                      TraceAxis{net::TransportKind::DirectAll, 1, 500},
+                      TraceAxis{net::TransportKind::TreeMulticast, 1, 0},
+                      TraceAxis{net::TransportKind::TreeMulticast, 1, 500}),
+    [](const ::testing::TestParamInfo<TraceAxis>& info) {
+      const TraceAxis& ax = info.param;
+      std::string name = ax.kind == net::TransportKind::HubSwitch    ? "Hub"
+                         : ax.kind == net::TransportKind::ShardedHub ? "Sharded4"
+                         : ax.kind == net::TransportKind::DirectAll  ? "Direct"
+                                                                     : "Tree";
+      name += ax.window_us == 0 ? "Unbatched" : "W" + std::to_string(ax.window_us) + "us";
+      return name;
+    });
 
 // ---------------------------------------------------------------------------
 // Transport invariance at scale: the same protocol guarantee, but at the
