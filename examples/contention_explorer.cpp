@@ -109,7 +109,8 @@ int usage(const char* argv0) {
                "          [--mode base|replicated|broadcast|adaptive]\n"
                "          [--policy static|greedy|hysteresis]\n"
                "          [--batch-window <microseconds>]\n"
-               "          [--trace <path>]   write a Perfetto trace (= REPSEQ_TRACE)\n",
+               "          [--trace <path>]   write a Perfetto trace (= REPSEQ_TRACE)\n"
+               "          [--check races,protocol|all]   correctness checking (= REPSEQ_CHECK)\n",
                argv0);
   return 2;
 }
@@ -154,6 +155,11 @@ int main(int argc, char** argv) {
       // The tracer reads REPSEQ_TRACE at cluster construction, so the flag
       // just seeds the environment before any cluster exists.
       ::setenv("REPSEQ_TRACE", argv[i], /*overwrite=*/1);
+    } else if (arg == "--check") {
+      if (++i >= argc) return usage(argv[0]);
+      // Same pattern as --trace: the checker reads REPSEQ_CHECK at cluster
+      // construction and fails loud there on an unknown category.
+      ::setenv("REPSEQ_CHECK", argv[i], /*overwrite=*/1);
     } else if (arg == "--batch-window") {
       if (++i >= argc) return usage(argv[0]);
       const auto w = net::parse_batch_window(argv[i]);

@@ -152,6 +152,14 @@ struct Bench {
                 return a.site < b.site;
               });
 
+    // Correctness-checker violation counts (chk::Checker records one labeled
+    // counter per oracle; nonzero only under a no-abort test config).
+    for (const std::string& checker : m.label_values("chk_violations", "checker")) {
+      const std::uint64_t count = m.counter_value("chk_violations", {{"checker", checker}});
+      r.check_violations += count;
+      r.check_violations_by_checker.emplace_back(checker, count);
+    }
+
     // "diff requests": for sequential sections the paper counts the single
     // most-faulting thread (the master in the original system); for
     // parallel sections the per-thread average.

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "apps/barnes_hut/bh.hpp"
@@ -113,6 +114,12 @@ struct RunReport {
   std::uint64_t sim_events = 0;
   std::size_t peak_live_events = 0;
   double host_wall_s = 0;
+
+  // Correctness-checker telemetry (the chk layer; zero when REPSEQ_CHECK is
+  // off).  Nonzero only when a run survived a violation, i.e. under a
+  // test's no-abort config -- production checking aborts on the first one.
+  std::uint64_t check_violations = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> check_violations_by_checker;
 };
 
 RunReport run_barnes_hut(const RunOptions& opt, const bh::BhConfig& cfg);

@@ -99,7 +99,7 @@ void Team::seq_broadcast_after(const std::function<void(const Ctx&)>& body) {
   rse::broadcast_section_updates(master, before);
 }
 
-void Team::seq_replicated(std::function<void(const Ctx&)> body) {
+void Team::seq_replicated(std::uint32_t site, std::function<void(const Ctx&)> body) {
   tmk::NodeRuntime& master = cluster_.node(0);
   const int n = static_cast<int>(cluster_.node_count());
   if (n == 1) {
@@ -110,15 +110,19 @@ void Team::seq_replicated(std::function<void(const Ctx&)> body) {
   }
   // The section is shipped to every node like a region whose body is
   // the *whole* sequential section, bracketed by the RSE protocol.
-  // Traffic inside belongs to the sequential-section accounting.
+  // Traffic inside belongs to the sequential-section accounting.  The site
+  // rides along so every replica's diagnostics (race reports, write-set
+  // digests) name the section being executed.
   rse::RseController* rse = rse_;
   const std::uint64_t id =
-      cluster_.register_work([body = std::move(body), rse, n](tmk::NodeRuntime& rt) {
+      cluster_.register_work([body = std::move(body), rse, n, site](tmk::NodeRuntime& rt) {
+        rt.set_current_site(site);
         rse->enter(rt);
         Ctx ctx{rt, static_cast<int>(rt.id()), n};
         body(ctx);
         rt.cpu().flush();
         rse->exit(rt);
+        rt.set_current_site(tmk::NodeRuntime::kNoSite);
       });
   run_region(id, tmk::Phase::Sequential);
 }
@@ -152,6 +156,7 @@ void Team::sequential(std::uint32_t site, std::function<void(const Ctx&)> body) 
                          {"strategy", static_cast<double>(static_cast<int>(eff))},
                          {"section", static_cast<double>(seq_sections_)}});
   }
+  cluster_.node(0).set_current_site(site);
   switch (eff) {
     case SeqMode::MasterOnly:
       seq_master_only(body);
@@ -160,12 +165,13 @@ void Team::sequential(std::uint32_t site, std::function<void(const Ctx&)> body) 
       seq_broadcast_after(body);
       break;
     case SeqMode::Replicated:
-      seq_replicated(std::move(body));
+      seq_replicated(site, std::move(body));
       break;
     case SeqMode::Adaptive:
       REPSEQ_CHECK(false, "adaptive mode resolves to a concrete strategy");
       break;
   }
+  cluster_.node(0).set_current_site(tmk::NodeRuntime::kNoSite);
   if (seq_mode_ == SeqMode::Adaptive) policy_->close_section(cluster_.node(0));
   if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
     obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(), 1, "master");

@@ -101,7 +101,7 @@ class Team {
   // one of them per the policy engine's decision.
   void seq_master_only(const std::function<void(const Ctx&)>& body);
   void seq_broadcast_after(const std::function<void(const Ctx&)>& body);
-  void seq_replicated(std::function<void(const Ctx&)> body);
+  void seq_replicated(std::uint32_t site, std::function<void(const Ctx&)> body);
 
   tmk::Cluster& cluster_;
   SeqMode seq_mode_;

@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 
+#include "chk/checker.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -130,11 +131,19 @@ void RseController::enter(tmk::NodeRuntime& rt) {
 
   st.active = true;
   rt.set_in_replicated_section(true);
+  if (chk::Checker* c = cluster_.checker()) [[unlikely]] {
+    c->on_section_enter(rt, rt.current_site());
+  }
 }
 
 void RseController::exit(tmk::NodeRuntime& rt) {
   NodeState& st = state_[rt.id()];
   REPSEQ_CHECK(st.active, "RSE exit without enter");
+  // Digest the section's write set before any post-section state is
+  // touched: every replica must have produced identical bytes.
+  if (chk::Checker* c = cluster_.checker()) [[unlikely]] {
+    c->on_section_exit(rt);
+  }
 
   // Remaining write-protected dirty pages return to their normal state
   // (Section 5.3); their twins still hold the pre-section modifications.
@@ -144,6 +153,10 @@ void RseController::exit(tmk::NodeRuntime& rt) {
   st.active = false;
   st.table = nullptr;
   st.table_index.clear();
+  // Frames of rounds that never completed (watchdog-abandoned; the page was
+  // then validated by recovery's own complete batch) must not survive into
+  // the next section, whose pending sets they say nothing about.
+  st.staged.clear();
   rt.set_in_replicated_section(false);
 
   // "At the fork at the end of a sequential section, threads wait until all
@@ -289,6 +302,9 @@ void RseController::master_start_next(tmk::NodeRuntime& master, std::size_t shar
   ms.queue.pop_front();
   req.round = ms.next_round_no++;
   ms.active_round = req.round;
+  if (chk::Checker* c = cluster_.checker()) [[unlikely]] {
+    c->on_round_start(shard, req.round);
+  }
   if (flow_ == FlowControl::Windowed) {
     ms.awaiting_replies.clear();
     for (const auto& [owner, _] : req.wanted) ms.awaiting_replies.push_back(owner);
@@ -333,6 +349,12 @@ void RseController::master_round_finished(tmk::NodeRuntime& master, std::size_t 
                                           bool on_server) {
   MasterShard& ms = master_shard(shard);
   REPSEQ_CHECK(ms.round_in_flight, "round finish without a round");
+  // Every round ending -- normal chain/window completion AND watchdog
+  // abandonment -- funnels through here, so this one hook closes the
+  // at-most-one-in-flight oracle's bracket.
+  if (chk::Checker* c = cluster_.checker()) [[unlikely]] {
+    c->on_round_finish(shard, ms.active_round);
+  }
   if (obs::enabled(obs::Cat::Rse)) [[unlikely]] {
     obs::tracer().end(obs::Cat::Rse, cluster_.engine().now(), 1, shard_track(shard));
   }
@@ -458,13 +480,50 @@ void RseController::window_retire(tmk::NodeRuntime& rt, std::size_t shard, net::
 void RseController::apply_mcast_packets(tmk::NodeRuntime& rt,
                                         const std::vector<tmk::DiffPacket>& pkts,
                                         bool on_server) {
-  std::vector<tmk::DiffPacket> relevant;
+  // Frames of one round arrive in chain (node-id) order, not causal order.
+  // With causally ordered same-page writers -- a lock chain before the
+  // section -- applying each frame on arrival would let an older diff land
+  // on top of the newer data that covers it: silent replica divergence (the
+  // same hazard the BcastUpdate handler guards; the diff-apply-causality
+  // oracle caught this path missing it).  So frames are staged per page and
+  // applied in ONE causal batch only once every pending notice is covered.
+  //
+  // Completeness is tracked incrementally: the page's pending set is
+  // snapshotted into `needed` when staging begins (pending only ever shrinks
+  // to empty mid-section, via the pull path, which drops the entry below)
+  // and arriving covers tick entries off -- no per-arrival rescan.
+  NodeState& st = state_[rt.id()];
   for (const tmk::DiffPacket& pkt : pkts) {
+    const auto& pending = rt.page(pkt.page).pending;
     // Never touch a page this node already holds valid: its replicated
     // writes may have moved it past the pre-section image these diffs carry.
-    if (!rt.page(pkt.page).pending.empty()) relevant.push_back(pkt);
+    if (pending.empty()) {
+      st.staged.erase(pkt.page);  // the pull path validated it first
+      continue;
+    }
+    auto [it, inserted] = st.staged.try_emplace(pkt.page);
+    NodeState::StagedPage& sp = it->second;
+    if (inserted) {
+      sp.needed.reserve(pending.size());
+      for (const tmk::IntervalRecordPtr& r : pending) sp.needed.emplace_back(r->owner, r->index);
+      std::sort(sp.needed.begin(), sp.needed.end());
+    }
+    const std::pair<net::NodeId, std::uint64_t> key{pkt.owner, pkt.seq};
+    const auto sit = std::lower_bound(sp.seen.begin(), sp.seen.end(), key);
+    if (sit != sp.seen.end() && *sit == key) continue;  // duplicate frame
+    sp.seen.insert(sit, key);
+    sp.frames.push_back(pkt);
+    for (std::uint32_t i : pkt.covers) {
+      const std::pair<net::NodeId, std::uint32_t> notice{pkt.owner, i};
+      const auto nit = std::lower_bound(sp.needed.begin(), sp.needed.end(), notice);
+      if (nit != sp.needed.end() && *nit == notice) sp.needed.erase(nit);
+    }
+    if (sp.needed.empty()) {
+      std::vector<tmk::DiffPacket> batch = std::move(sp.frames);
+      st.staged.erase(it);
+      rt.apply_packets_causally(std::move(batch), on_server);
+    }
   }
-  if (!relevant.empty()) rt.apply_packets_causally(std::move(relevant), on_server);
 }
 
 void RseController::register_handlers(tmk::ProtocolEngine& engine) {

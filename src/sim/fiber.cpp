@@ -84,6 +84,9 @@ void fiber_trampoline(Fiber* self) {
   }
   self->finished_ = true;
   // Final switch back to the engine; this frame is abandoned.
+#if REPSEQ_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
+#endif
   void* dead = nullptr;
   repseq_ctx_swap(&dead, self->return_sp_);
   REPSEQ_CHECK(false, "finished fiber resumed");
@@ -122,6 +125,9 @@ Fiber::Fiber(std::string name, Fn fn, std::size_t stack_bytes)
 Fiber::~Fiber() {
   // A fiber destroyed while suspended simply abandons its stack; the engine
   // only does this after `run()` has drained, so no cleanup runs mid-flight.
+#if REPSEQ_FIBER_TSAN
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 Fiber* Fiber::current() { return g_current; }
@@ -136,6 +142,11 @@ void Fiber::resume() {
     init_context();
   }
   g_current = this;
+#if REPSEQ_FIBER_TSAN
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_return_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   repseq_ctx_swap(&return_sp_, switch_sp_);
   g_current = nullptr;
 }
@@ -144,6 +155,9 @@ void Fiber::yield() {
   Fiber* self = g_current;
   REPSEQ_CHECK(self != nullptr, "yield() must be called from inside a fiber");
   g_current = nullptr;
+#if REPSEQ_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
+#endif
   repseq_ctx_swap(&self->switch_sp_, self->return_sp_);
   g_current = self;
 }
@@ -160,6 +174,9 @@ void Fiber::trampoline() {
   self->finished_ = true;
   // Fall through: returning from the makecontext entry point resumes
   // uc_link, which we point at the engine's context.
+#if REPSEQ_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
+#endif
 }
 
 void Fiber::resume() {
@@ -175,6 +192,11 @@ void Fiber::resume() {
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
   }
   g_current = this;
+#if REPSEQ_FIBER_TSAN
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  tsan_return_fiber_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   REPSEQ_CHECK(swapcontext(&return_context_, &context_) == 0, "swapcontext failed");
   g_current = nullptr;
 }
@@ -183,6 +205,9 @@ void Fiber::yield() {
   Fiber* self = g_current;
   REPSEQ_CHECK(self != nullptr, "yield() must be called from inside a fiber");
   g_current = nullptr;
+#if REPSEQ_FIBER_TSAN
+  __tsan_switch_to_fiber(self->tsan_return_fiber_, 0);
+#endif
   REPSEQ_CHECK(swapcontext(&self->context_, &self->return_context_) == 0, "swapcontext failed");
   g_current = self;
 }

@@ -27,6 +27,19 @@
 #include <ucontext.h>
 #endif
 
+// ThreadSanitizer tracks a shadow stack per thread; userspace context
+// switches (either variant) would corrupt it and report every fiber-to-fiber
+// data flow as a race.  The __tsan_*_fiber annotations tell it about each
+// switch, so TSan runs see the simulator's fibers as what they are: one
+// thread, many stacks.  The fast switch stays enabled under TSan -- unlike
+// ASan's fake-stack machinery, TSan only needs the annotations.
+#if defined(__SANITIZE_THREAD__) || REPSEQ_HAS_FEATURE(thread_sanitizer)
+#define REPSEQ_FIBER_TSAN 1
+#include <sanitizer/tsan_interface.h>
+#else
+#define REPSEQ_FIBER_TSAN 0
+#endif
+
 #include <cstddef>
 #include <cstdint>
 #include <exception>
@@ -92,6 +105,10 @@ class Fiber {
 
   ucontext_t context_{};
   ucontext_t return_context_{};
+#endif
+#if REPSEQ_FIBER_TSAN
+  void* tsan_fiber_ = nullptr;         // TSan's per-fiber shadow state
+  void* tsan_return_fiber_ = nullptr;  // the context resume() switched from
 #endif
 
   std::string name_;

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <set>
 
+#include "chk/checker.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 
@@ -54,6 +55,7 @@ NodeRuntime::NodeRuntime(Cluster& cluster, NodeId id)
   if (id_ == 0) {
     slave_known_vc_.assign(cluster.node_count(), VectorClock(cluster.node_count()));
   }
+  chk_ = cluster.checker();
 }
 
 const TmkConfig& NodeRuntime::config() const { return cluster_.config(); }
@@ -90,6 +92,7 @@ void NodeRuntime::release_twin(std::unique_ptr<std::byte[]> twin) {
 
 void NodeRuntime::read_barrier(GAddr addr, std::size_t bytes) {
   REPSEQ_CHECK(!addr.is_null(), "read through null shared address");
+  if (chk_ != nullptr) [[unlikely]] chk_->on_access(*this, addr, bytes, /*write=*/false);
   const std::size_t pb = config().page_bytes;
   const PageId first = page_of(addr, pb);
   const PageId last = page_of(addr + (bytes == 0 ? 0 : bytes - 1), pb);
@@ -106,6 +109,7 @@ void NodeRuntime::read_barrier(GAddr addr, std::size_t bytes) {
 
 void NodeRuntime::write_barrier(GAddr addr, std::size_t bytes) {
   REPSEQ_CHECK(!addr.is_null(), "write through null shared address");
+  if (chk_ != nullptr) [[unlikely]] chk_->on_access(*this, addr, bytes, /*write=*/true);
   const std::size_t pb = config().page_bytes;
   const PageId first = page_of(addr, pb);
   const PageId last = page_of(addr + (bytes == 0 ? 0 : bytes - 1), pb);
@@ -179,6 +183,10 @@ void NodeRuntime::write_barrier(GAddr addr, std::size_t bytes) {
 
 void NodeRuntime::end_interval() {
   cpu_.flush();
+  // The shadow happens-before clock advances at EVERY interval end (the
+  // protocol clock below only bumps for dirty intervals): read-only epochs
+  // must participate in the race detector's order.
+  if (chk_ != nullptr) [[unlikely]] chk_->on_release(id_);
   if (current_dirty_.empty()) return;
   vc_.bump(id_);
   const std::uint32_t idx = vc_.at(id_);
@@ -193,6 +201,14 @@ void NodeRuntime::end_interval() {
   rec->index = idx;
   rec->vc = vc_;
   rec->pages = current_dirty_;
+  if (chk_ != nullptr) [[unlikely]] chk_->on_interval_commit(*this, rec);
+  // Oracle-validation mutation: publish a record missing its last write
+  // notice.  The checker captured the TRUE write set above; local page
+  // state below iterates current_dirty_, so only the published lie differs.
+  if (chk::g_test_mutation == chk::Mutation::SuppressWriteNotice && rec->pages.size() > 1)
+      [[unlikely]] {
+    rec->pages.pop_back();
+  }
   log_.insert(rec);
   for (PageId p : rec->pages) page_notice_index_[p].push_back(rec);
   for (PageId p : current_dirty_) {
@@ -339,6 +355,7 @@ void NodeRuntime::apply_packet(const DiffPacket& pkt) {
   // owners' diffs) with the batch's stale image.  The notices it satisfies
   // are still cleared below.
   const bool already_applied = ps.valid_vc.at(pkt.owner) >= oldest;
+  if (chk_ != nullptr && !already_applied) [[unlikely]] chk_->on_diff_apply(*this, pkt);
   REPSEQ_PAGE_TRACE(pkt.page, "apply diff owner=%u covers[0]=%u nwords=%zu seq=%llu%s",
                     pkt.owner, pkt.covers.empty() ? 0u : pkt.covers[0],
                     pkt.diff->word_count(), (unsigned long long)pkt.seq,
@@ -380,6 +397,11 @@ void NodeRuntime::apply_packets_causally(std::vector<DiffPacket> pkts, bool on_s
     if (a.owner != b.owner) return a.owner < b.owner;
     return a.seq < b.seq;
   });
+  // Oracle-validation mutation: undo the causal sort (the PR 4 bug class);
+  // the diff-apply-causality oracle must fire on the first stale apply.
+  if (chk::g_test_mutation == chk::Mutation::ReorderDiffApply && pkts.size() > 1) [[unlikely]] {
+    std::reverse(pkts.begin(), pkts.end());
+  }
   std::set<PageId> touched;
   std::size_t bytes = 0;
   for (const DiffPacket& pkt : pkts) {
@@ -406,6 +428,7 @@ void NodeRuntime::apply_packets_causally(std::vector<DiffPacket> pkts, bool on_s
     PageState& ps = pages_[p];
     if (ps.pending.empty() && ps.prot == PageProt::Invalid) {
       ps.prot = PageProt::ReadOnly;
+      if (chk_ != nullptr) [[unlikely]] chk_->on_page_revalidate(*this, p);
       notify_page_valid(p);
     }
   }
@@ -618,6 +641,7 @@ void NodeRuntime::merge_sync_payload(const VectorClock& vc,
     apply_notice(rec, on_server);
   }
   vc_.max_with(vc);
+  if (chk_ != nullptr) [[unlikely]] chk_->on_sync_merge(id_);
 }
 
 std::vector<IntervalRecordPtr> NodeRuntime::records_unknown_to(const VectorClock& vc) const {
@@ -640,14 +664,15 @@ void NodeRuntime::barrier(std::uint32_t barrier_id) {
       tok.wait();
     }
   } else {
-    send_unicast(MsgKind::BarrierArrive, 0,
-                 BarrierArriveP{seq, vc_, records_unknown_to(last_master_vc_)},
-                 /*on_server=*/false);
+    BarrierArriveP arr{seq, vc_, records_unknown_to(last_master_vc_)};
+    if (chk_ != nullptr) [[unlikely]] arr.chk = chk_->shadow(id_);
+    send_unicast(MsgKind::BarrierArrive, 0, std::move(arr), /*on_server=*/false);
     net::Message msg = depart_ch_.pop();
     const auto& d = msg.as<BarrierDepartP>();
     REPSEQ_CHECK(d.barrier_seq == seq, "barrier sequence mismatch");
     merge_sync_payload(d.vc, d.records, /*on_server=*/false);
     last_master_vc_ = d.vc;
+    if (chk_ != nullptr) [[unlikely]] chk_->on_acquire(id_, d.chk);
   }
 }
 
@@ -655,6 +680,11 @@ void NodeRuntime::handle_barrier_arrive(const net::Message& msg) {
   const auto& a = msg.as<BarrierArriveP>();
   BarrierGroup& g = barriers_[a.barrier_seq];
   merge_sync_payload(a.vc, a.records, /*on_server=*/true);
+  // Shadow clocks must NOT merge here: the dispatcher handles arrivals in
+  // the middle of the master's epoch, and an eager merge would falsely
+  // order slave writes before the master's in-progress accesses.  Buffer,
+  // merge at completion (below), which is the real acquire edge.
+  if (chk_ != nullptr) [[unlikely]] chk_->buffer_barrier_arrival(a.barrier_seq, a.chk);
   g.waiter_vcs.emplace_back(msg.src, a.vc);
   ++g.arrived;
   barrier_complete_if_ready(a.barrier_seq, /*on_server=*/true);
@@ -665,12 +695,14 @@ void NodeRuntime::barrier_complete_if_ready(std::uint64_t barrier_seq, bool on_s
   REPSEQ_CHECK(it != barriers_.end(), "unknown barrier");
   BarrierGroup& g = it->second;
   if (!g.master_arrived || g.arrived != node_count() - 1) return;
+  if (chk_ != nullptr) [[unlikely]] chk_->on_barrier_complete(barrier_seq);
 
   // Departures are sent, then the group is destroyed, so a late lookup by a
   // next-epoch arrival cannot confuse this (already keyed) group.
   for (const auto& [slave, arrive_vc] : g.waiter_vcs) {
-    send_unicast(MsgKind::BarrierDepart, slave,
-                 BarrierDepartP{barrier_seq, vc_, records_unknown_to(arrive_vc)}, on_server);
+    BarrierDepartP dep{barrier_seq, vc_, records_unknown_to(arrive_vc)};
+    if (chk_ != nullptr) [[unlikely]] dep.chk = chk_->shadow(id_);
+    send_unicast(MsgKind::BarrierDepart, slave, std::move(dep), on_server);
     slave_known_vc_[slave] = vc_;
   }
   sim::WaitToken* waiter = g.master_waiter;
@@ -696,6 +728,7 @@ void NodeRuntime::lock_acquire(std::uint32_t lock_id) {
   const auto& g = msg.as<LockGrantP>();
   REPSEQ_CHECK(g.lock == lock_id, "lock grant mismatch");
   merge_sync_payload(g.vc, g.records, /*on_server=*/false);
+  if (chk_ != nullptr) [[unlikely]] chk_->on_acquire(id_, g.chk);
 }
 
 void NodeRuntime::lock_release(std::uint32_t lock_id) {
@@ -748,6 +781,10 @@ void NodeRuntime::manager_release(NodeId releaser, std::uint32_t lock, bool on_s
 void NodeRuntime::releaser_grant(NodeId acquirer, std::uint64_t req_id, std::uint32_t lock,
                                  const VectorClock& acq_vc, bool on_server) {
   LockGrantP grant{req_id, lock, vc_, records_unknown_to(acq_vc)};
+  // The releaser's shadow snapshot is taken at grant time (possibly on the
+  // dispatcher fiber); sound because a node's shadow only advances at its
+  // own sync operations and at buffered barrier completion.
+  if (chk_ != nullptr) [[unlikely]] grant.chk = chk_->shadow(id_);
   if (acquirer == id_) {
     grant_ch_.push(make_message(MsgKind::LockGrant, id_, id_, std::move(grant)));
   } else {
@@ -766,8 +803,9 @@ void NodeRuntime::fork(std::uint64_t work_id, Phase phase) {
   end_interval();
   cluster_.set_phase(phase);
   for (NodeId s = 1; s < node_count(); ++s) {
-    send_unicast(MsgKind::Fork, s, ForkP{work_id, vc_, records_unknown_to(slave_known_vc_[s])},
-                 /*on_server=*/false);
+    ForkP f{work_id, vc_, records_unknown_to(slave_known_vc_[s])};
+    if (chk_ != nullptr) [[unlikely]] f.chk = chk_->shadow(id_);
+    send_unicast(MsgKind::Fork, s, std::move(f), /*on_server=*/false);
     slave_known_vc_[s] = vc_;
   }
 }
@@ -780,6 +818,7 @@ void NodeRuntime::join_master() {
     const auto& j = msg.as<JoinP>();
     merge_sync_payload(j.vc, j.records, /*on_server=*/false);
     slave_known_vc_[msg.src].max_with(j.vc);
+    if (chk_ != nullptr) [[unlikely]] chk_->on_acquire(id_, j.chk);
   }
   cluster_.set_phase(Phase::Sequential);
 }
@@ -790,10 +829,12 @@ void NodeRuntime::slave_loop() {
     const auto& f = msg.as<ForkP>();
     merge_sync_payload(f.vc, f.records, /*on_server=*/false);
     last_master_vc_ = f.vc;
+    if (chk_ != nullptr) [[unlikely]] chk_->on_acquire(id_, f.chk);
     cluster_.work(f.work_id)(*this);
     end_interval();
-    send_unicast(MsgKind::Join, 0, JoinP{vc_, records_unknown_to(last_master_vc_)},
-                 /*on_server=*/false);
+    JoinP join{vc_, records_unknown_to(last_master_vc_)};
+    if (chk_ != nullptr) [[unlikely]] join.chk = chk_->shadow(id_);
+    send_unicast(MsgKind::Join, 0, std::move(join), /*on_server=*/false);
     last_master_vc_.max_with(vc_);
   }
 }
@@ -918,6 +959,11 @@ Cluster::Cluster(TmkConfig cfg, net::NetConfig net_cfg, std::size_t nodes)
   // join burst at a section boundary).
   network_->set_loss_filter([](const net::Message& m) { return is_diff_traffic(kind_of(m)); });
   network_->set_drop_filter([](const net::Message& m) { return is_diff_traffic(kind_of(m)); });
+  // Correctness checking is decided once per cluster (env axis or a test's
+  // ScopedConfig), before the nodes cache the pointer; a null checker makes
+  // every hook a single predicted-false branch.
+  const chk::Config chk_cfg = chk::effective_config();
+  if (chk_cfg.mask != 0) checker_ = std::make_unique<chk::Checker>(*this, chk_cfg);
   nodes_.reserve(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
     nodes_.push_back(std::make_unique<NodeRuntime>(*this, n));

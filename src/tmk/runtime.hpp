@@ -41,6 +41,10 @@
 #include "tmk/vector_clock.hpp"
 #include "util/lazy_bytes.hpp"
 
+namespace repseq::chk {
+class Checker;
+}  // namespace repseq::chk
+
 namespace repseq::tmk {
 
 class Cluster;
@@ -179,6 +183,13 @@ class NodeRuntime {
   [[nodiscard]] bool in_replicated_section() const { return in_replicated_section_; }
   void set_in_replicated_section(bool v) { in_replicated_section_ = v; }
 
+  /// The sequential-section site currently executing on this node's app
+  /// fiber (kNoSite outside sections) -- purely diagnostic context, stamped
+  /// by ompnow::Team and read by the chk layer's race reports.
+  static constexpr std::uint32_t kNoSite = 0xFFFFFFFFu;
+  [[nodiscard]] std::uint32_t current_site() const { return current_site_; }
+  void set_current_site(std::uint32_t site) { current_site_ = site; }
+
   /// A fresh correlation id for request/reply matching.
   std::uint64_t next_req_id() { return next_req_id_++; }
 
@@ -288,6 +299,10 @@ class NodeRuntime {
   std::vector<VectorClock> slave_known_vc_;  // master only
 
   bool in_replicated_section_ = false;
+  std::uint32_t current_site_ = kNoSite;
+  /// The cluster's checker, cached so every hook is one null test when
+  /// checking is off (mirrors the obs-layer mask pattern).
+  chk::Checker* chk_ = nullptr;
 };
 
 /// The whole simulated cluster: engine, network, one runtime per node, the
@@ -339,6 +354,10 @@ class Cluster {
   /// The message-dispatch registry serving every node's request server.
   [[nodiscard]] ProtocolEngine& protocol() { return protocol_; }
 
+  /// The correctness checker, present iff REPSEQ_CHECK (or a test's
+  /// chk::ScopedConfig) selected at least one category at construction.
+  [[nodiscard]] chk::Checker* checker() const { return checker_.get(); }
+
   /// The runtime owning the calling fiber (application or dispatcher).
   static NodeRuntime& current();
 
@@ -352,6 +371,7 @@ class Cluster {
   std::vector<std::function<void(NodeRuntime&)>> work_table_;
   ProtocolEngine protocol_;
   obs::Registry metrics_;
+  std::unique_ptr<chk::Checker> checker_;
   Phase phase_ = Phase::Sequential;
   RseHooks* rse_hooks_ = nullptr;
   bool ran_ = false;

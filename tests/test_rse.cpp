@@ -89,6 +89,45 @@ TEST(Rse, SectionWritesAreNotPropagatedAfterwards) {
   }
 }
 
+TEST(Rse, LockChainedWritersConvergeInsideSection) {
+  // Regression for the multicast-round causality hazard: a lock chain
+  // before the section leaves causally ordered diffs for the SAME word at
+  // different owners.  Round frames arrive in chain (node-id) order, so
+  // applying each frame on arrival would let an older diff land on top of
+  // the newer data that covers it -- a replica silently reading a stale
+  // word and diverging (found by the chk diff-apply-causality oracle).
+  // Frames must stage per page and apply in one causal batch.
+  for (FlowControl flow : {FlowControl::Chained, FlowControl::Windowed, FlowControl::None}) {
+    World w(4, SeqMode::Replicated, flow);
+    auto data = tmk::ShArray<int>::alloc(*w.cl, 1024, /*page_aligned=*/true);
+    std::vector<int> after(4, -1);
+
+    const auto work = w.cl->register_work([&](tmk::NodeRuntime& rt) {
+      for (std::size_t i = rt.id(); i < data.size(); i += rt.node_count()) {
+        data.store(i, static_cast<int>(2 * i));
+      }
+      rt.barrier(1);
+      rt.lock_acquire(9);
+      data.store(0, data.load(0) + 1);  // 4 causally ordered writers, 1 word
+      rt.lock_release(9);
+    });
+    w.cl->run([&](tmk::NodeRuntime& rt) {
+      rt.fork(work);
+      w.cl->work(work)(rt);
+      rt.join_master();
+      w.team->sequential([&](const Ctx&) {
+        data.store(0, data.load(0) + 3);
+      });
+      w.team->parallel([&](const Ctx& ctx) { after[ctx.tid] = data.load(0); });
+    });
+
+    // 0 (cyclic) + 4 increments + 3 = 7 on EVERY replica.
+    for (int t = 0; t < 4; ++t) {
+      EXPECT_EQ(after[t], 7) << "node " << t << " flow " << static_cast<int>(flow);
+    }
+  }
+}
+
 TEST(Rse, LazyDiffHazardYieldsPreSectionDataOnly) {
   // The Section 5.3 scenario: node 1 dirties a page before the section and
   // the diff stays lazy.  Inside the replicated section every node performs
